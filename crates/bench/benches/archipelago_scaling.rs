@@ -1,0 +1,33 @@
+//! PMO2 wall time versus island count at a fixed per-island budget — the
+//! coarse-grained parallelism ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathway_core::prelude::*;
+
+fn bench_archipelago_scaling(c: &mut Criterion) {
+    let problem = LeafRedesignProblem::new(Scenario::present_low_export());
+    let mut group = c.benchmark_group("archipelago_scaling");
+    group.sample_size(10);
+    for &islands in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(islands), &islands, |b, &islands| {
+            b.iter(|| {
+                let config = ArchipelagoConfig {
+                    islands,
+                    island_config: Nsga2Config {
+                        population_size: 24,
+                        generations: 20,
+                        ..Default::default()
+                    },
+                    migration_interval: 10,
+                    migration_probability: 0.5,
+                    topology: MigrationTopology::Broadcast,
+                };
+                Archipelago::new(config, 3).run(&problem).len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_archipelago_scaling);
+criterion_main!(benches);

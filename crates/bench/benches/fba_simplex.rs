@@ -1,0 +1,28 @@
+//! Flux balance analysis solve time versus synthetic Geobacter model size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathway_fba::geobacter::GeobacterModel;
+
+fn bench_fba(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fba_simplex");
+    group.sample_size(10);
+    for &reactions in &[152usize, 304, 608] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(reactions),
+            &reactions,
+            |b, &reactions| {
+                let model = GeobacterModel::builder().reactions(reactions).build();
+                b.iter(|| {
+                    model
+                        .max_biomass()
+                        .expect("biomass FBA is feasible")
+                        .objective_value
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fba);
+criterion_main!(benches);

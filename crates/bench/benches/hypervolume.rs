@@ -1,0 +1,42 @@
+//! Hypervolume indicator cost versus front size, in 2 and 3 dimensions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathway_moo::metrics::hypervolume;
+
+fn synthetic_front_2d(size: usize) -> Vec<Vec<f64>> {
+    (0..size)
+        .map(|i| {
+            let f1 = i as f64 / size as f64;
+            vec![f1, 1.0 - f1.sqrt()]
+        })
+        .collect()
+}
+
+fn synthetic_front_3d(size: usize) -> Vec<Vec<f64>> {
+    (0..size)
+        .map(|i| {
+            let t = i as f64 / size as f64;
+            let phi = t * std::f64::consts::FRAC_PI_2;
+            vec![phi.cos() * 0.9, phi.sin() * 0.9, t]
+        })
+        .collect()
+}
+
+fn bench_hypervolume(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypervolume");
+    group.sample_size(20);
+    for &size in &[100usize, 400, 800] {
+        let front2 = synthetic_front_2d(size);
+        group.bench_with_input(BenchmarkId::new("2d", size), &front2, |b, front| {
+            b.iter(|| hypervolume(front, &[1.1, 1.1]));
+        });
+        let front3 = synthetic_front_3d(size);
+        group.bench_with_input(BenchmarkId::new("3d", size), &front3, |b, front| {
+            b.iter(|| hypervolume(front, &[1.1, 1.1, 1.1]));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hypervolume);
+criterion_main!(benches);

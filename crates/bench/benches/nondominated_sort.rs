@@ -1,0 +1,38 @@
+//! Fast non-dominated sort cost versus population size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathway_moo::{fast_nondominated_sort, Individual};
+
+fn synthetic_population(size: usize) -> Vec<Individual> {
+    (0..size)
+        .map(|i| {
+            let x = (i as f64 * 0.618_033_988_75).fract();
+            let y = (i as f64 * 0.414_213_562_37).fract();
+            Individual {
+                variables: vec![x, y],
+                objectives: vec![x, y],
+                violation: 0.0,
+                rank: usize::MAX,
+                crowding: 0.0,
+            }
+        })
+        .collect()
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nondominated_sort");
+    group.sample_size(20);
+    for &size in &[100usize, 200, 400] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let population = synthetic_population(size);
+            b.iter(|| {
+                let mut copy = population.clone();
+                fast_nondominated_sort(&mut copy).len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sort);
+criterion_main!(benches);

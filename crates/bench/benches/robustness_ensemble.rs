@@ -1,0 +1,27 @@
+//! Cost of the robustness yield Γ versus Monte-Carlo ensemble size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathway_core::prelude::*;
+use pathway_moo::robustness::{global_yield, RobustnessOptions};
+
+fn bench_robustness(c: &mut Criterion) {
+    let problem = LeafRedesignProblem::new(Scenario::present_low_export());
+    let natural = EnzymePartition::natural();
+    let mut group = c.benchmark_group("robustness_ensemble");
+    group.sample_size(10);
+    for &trials in &[500usize, 1_000, 5_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(trials), &trials, |b, &trials| {
+            let options = RobustnessOptions {
+                global_trials: trials,
+                ..Default::default()
+            };
+            b.iter(|| {
+                global_yield(natural.capacities(), |x| problem.uptake(x), &options).yield_fraction
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_robustness);
+criterion_main!(benches);

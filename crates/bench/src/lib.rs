@@ -1,0 +1,47 @@
+//! Shared helpers for the benchmark and experiment harness.
+//!
+//! The `pathway-bench` crate has two faces:
+//!
+//! * **experiment binaries** (`src/bin/`): one per table and figure of the
+//!   paper, each printing the corresponding rows/series
+//!   (`cargo run --release -p pathway-bench --bin table1`);
+//! * **Criterion benches** (`benches/`): performance and ablation benchmarks
+//!   for the building blocks (NSGA-II generations, migration topologies,
+//!   hypervolume, ODE steady states, FBA, robustness ensembles).
+//!
+//! Experiment budgets scale with the `PATHWAY_BENCH_SCALE` environment
+//! variable: `1` (default) is a laptop-friendly budget, larger values approach
+//! the paper's original budgets.
+
+/// Returns the experiment scale factor from `PATHWAY_BENCH_SCALE` (default 1).
+pub fn scale() -> usize {
+    std::env::var("PATHWAY_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(1)
+}
+
+/// Scales a base budget by the experiment scale factor, saturating at `max`.
+pub fn scaled(base: usize, max: usize) -> usize {
+    (base * scale()).min(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_one() {
+        // The environment variable is not set under `cargo test`.
+        if std::env::var("PATHWAY_BENCH_SCALE").is_err() {
+            assert_eq!(scale(), 1);
+            assert_eq!(scaled(40, 1000), 40);
+        }
+    }
+
+    #[test]
+    fn scaled_saturates_at_the_cap() {
+        assert_eq!(scaled(500, 200), 200);
+    }
+}

@@ -1,0 +1,468 @@
+use pathway_fba::geobacter::GeobacterModel;
+use pathway_moo::robustness::{global_yield, RobustnessOptions};
+use pathway_moo::{mining, Archipelago, ArchipelagoConfig, MigrationTopology, Nsga2Config};
+use pathway_photosynthesis::{EnzymePartition, Scenario};
+
+use crate::{GeobacterFluxProblem, GeobacterSolution, LeafRedesignProblem};
+
+/// A re-engineered leaf design: enzyme partition plus its evaluated
+/// objectives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafDesign {
+    /// Enzyme partition (catalytic capacities of the 23 enzymes).
+    pub partition: EnzymePartition,
+    /// Net CO₂ uptake in µmol m⁻² s⁻¹.
+    pub uptake: f64,
+    /// Total protein nitrogen in mg/l.
+    pub nitrogen: f64,
+}
+
+/// The four automatically selected designs of the paper's Table 2, each with
+/// its robustness yield.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectedLeafDesigns {
+    /// The design closest to the ideal point, with its yield in percent.
+    pub closest_to_ideal: (LeafDesign, f64),
+    /// The design with the maximum CO₂ uptake, with its yield in percent.
+    pub max_uptake: (LeafDesign, f64),
+    /// The design with the minimum nitrogen, with its yield in percent.
+    pub min_nitrogen: (LeafDesign, f64),
+    /// The screened design with the maximum yield, with its yield in percent.
+    pub max_yield: (LeafDesign, f64),
+}
+
+/// Result of a leaf-redesign study.
+#[derive(Debug, Clone)]
+pub struct LeafDesignOutcome {
+    /// The scenario that was optimized.
+    pub scenario: Scenario,
+    /// Pareto-optimal leaf designs found by PMO2.
+    pub front: Vec<LeafDesign>,
+    /// Total number of candidate evaluations spent (population × generations ×
+    /// islands), for the paper's "1.83% of the partitions explored" style
+    /// statistics.
+    pub evaluations: usize,
+}
+
+impl LeafDesignOutcome {
+    /// The design with the highest CO₂ uptake.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the front is empty.
+    pub fn max_uptake(&self) -> &LeafDesign {
+        self.front
+            .iter()
+            .max_by(|a, b| a.uptake.partial_cmp(&b.uptake).expect("uptake is finite"))
+            .expect("the front is non-empty")
+    }
+
+    /// The design with the lowest nitrogen investment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the front is empty.
+    pub fn min_nitrogen(&self) -> &LeafDesign {
+        self.front
+            .iter()
+            .min_by(|a, b| a.nitrogen.partial_cmp(&b.nitrogen).expect("nitrogen is finite"))
+            .expect("the front is non-empty")
+    }
+
+    /// The design closest to the ideal point (normalized objectives).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the front is empty.
+    pub fn closest_to_ideal(&self) -> &LeafDesign {
+        let objectives: Vec<Vec<f64>> = self
+            .front
+            .iter()
+            .map(|d| vec![-d.uptake, d.nitrogen])
+            .collect();
+        let index = mining::closest_to_ideal(&objectives).expect("the front is non-empty");
+        &self.front[index]
+    }
+
+    /// The paper's candidate **B**: the design that preserves (at least)
+    /// `fraction` of the natural uptake with the smallest nitrogen investment.
+    /// Returns `None` if no front member reaches that uptake.
+    pub fn candidate_b(&self, fraction: f64) -> Option<&LeafDesign> {
+        let target = Scenario::NATURAL_UPTAKE * fraction;
+        self.front
+            .iter()
+            .filter(|d| d.uptake >= target)
+            .min_by(|a, b| a.nitrogen.partial_cmp(&b.nitrogen).expect("nitrogen is finite"))
+    }
+
+    /// `count` designs spread equally along the front (by uptake), the set the
+    /// paper scores for the Figure 3 Pareto surface.
+    pub fn spread(&self, count: usize) -> Vec<&LeafDesign> {
+        let objectives: Vec<Vec<f64>> = self
+            .front
+            .iter()
+            .map(|d| vec![-d.uptake, d.nitrogen])
+            .collect();
+        mining::equally_spaced(&objectives, count)
+            .into_iter()
+            .map(|i| &self.front[i])
+            .collect()
+    }
+
+    /// Robustness yield Γ (in percent) of one design: the fraction of
+    /// Monte-Carlo perturbations (±10% per enzyme) whose uptake stays within
+    /// 5% of the design's nominal uptake.
+    pub fn robustness_percent(&self, design: &LeafDesign, trials: usize) -> f64 {
+        let problem = LeafRedesignProblem::new(self.scenario);
+        let options = RobustnessOptions {
+            global_trials: trials,
+            ..Default::default()
+        };
+        let report = global_yield(
+            design.partition.capacities(),
+            |x| problem.uptake(x),
+            &options,
+        );
+        report.yield_percent()
+    }
+
+    /// Builds the paper's Table 2: the three automatically selected designs
+    /// plus the most robust design among `screen_count` spread candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the front is empty.
+    pub fn selected_designs(&self, trials: usize, screen_count: usize) -> SelectedLeafDesigns {
+        let closest = self.closest_to_ideal().clone();
+        let max_uptake = self.max_uptake().clone();
+        let min_nitrogen = self.min_nitrogen().clone();
+        let closest_yield = self.robustness_percent(&closest, trials);
+        let max_uptake_yield = self.robustness_percent(&max_uptake, trials);
+        let min_nitrogen_yield = self.robustness_percent(&min_nitrogen, trials);
+
+        let mut best_yield = (closest.clone(), closest_yield);
+        for design in self.spread(screen_count) {
+            let yield_percent = self.robustness_percent(design, trials);
+            if yield_percent > best_yield.1 {
+                best_yield = (design.clone(), yield_percent);
+            }
+        }
+        SelectedLeafDesigns {
+            closest_to_ideal: (closest, closest_yield),
+            max_uptake: (max_uptake, max_uptake_yield),
+            min_nitrogen: (min_nitrogen, min_nitrogen_yield),
+            max_yield: best_yield,
+        }
+    }
+}
+
+/// An end-to-end leaf redesign study: PMO2 over the [`LeafRedesignProblem`]
+/// followed by front mining and robustness screening.
+#[derive(Debug, Clone)]
+pub struct LeafDesignStudy {
+    scenario: Scenario,
+    islands: usize,
+    population: usize,
+    generations: usize,
+    migration_interval: usize,
+    migration_probability: f64,
+    robustness_trials: usize,
+}
+
+impl LeafDesignStudy {
+    /// Creates a study with the paper's PMO2 configuration (2 islands,
+    /// migration every 200 generations with probability 0.5) and a moderate
+    /// default budget.
+    pub fn new(scenario: Scenario) -> Self {
+        LeafDesignStudy {
+            scenario,
+            islands: 2,
+            population: 80,
+            generations: 400,
+            migration_interval: 200,
+            migration_probability: 0.5,
+            robustness_trials: 5_000,
+        }
+    }
+
+    /// Overrides the per-island population size and total generation count.
+    #[must_use]
+    pub fn with_budget(mut self, population: usize, generations: usize) -> Self {
+        self.population = population;
+        self.generations = generations;
+        self.migration_interval = self.migration_interval.min(generations.max(1));
+        self
+    }
+
+    /// Overrides the number of islands.
+    #[must_use]
+    pub fn with_islands(mut self, islands: usize) -> Self {
+        self.islands = islands;
+        self
+    }
+
+    /// Overrides the migration interval and probability.
+    #[must_use]
+    pub fn with_migration(mut self, interval: usize, probability: f64) -> Self {
+        self.migration_interval = interval;
+        self.migration_probability = probability;
+        self
+    }
+
+    /// Overrides the Monte-Carlo trial count used for robustness screening.
+    #[must_use]
+    pub fn with_robustness_trials(mut self, trials: usize) -> Self {
+        self.robustness_trials = trials;
+        self
+    }
+
+    /// The robustness trial budget configured for this study.
+    pub fn robustness_trials(&self) -> usize {
+        self.robustness_trials
+    }
+
+    /// The scenario under study.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The archipelago configuration this study will run.
+    pub fn archipelago_config(&self) -> ArchipelagoConfig {
+        ArchipelagoConfig {
+            islands: self.islands,
+            island_config: Nsga2Config {
+                population_size: self.population,
+                generations: self.generations,
+                ..Default::default()
+            },
+            migration_interval: self.migration_interval,
+            migration_probability: self.migration_probability,
+            topology: MigrationTopology::Broadcast,
+        }
+    }
+
+    /// Runs the study with a deterministic seed.
+    pub fn run(&self, seed: u64) -> LeafDesignOutcome {
+        let problem = LeafRedesignProblem::new(self.scenario);
+        let archipelago = Archipelago::new(self.archipelago_config(), seed);
+        let front = archipelago.run(&problem);
+        let designs = front
+            .into_iter()
+            .map(|individual| LeafDesign {
+                partition: EnzymePartition::new(individual.variables.clone()),
+                uptake: -individual.objectives[0],
+                nitrogen: individual.objectives[1],
+            })
+            .collect();
+        LeafDesignOutcome {
+            scenario: self.scenario,
+            front: designs,
+            evaluations: self.islands * self.population * (self.generations + 1),
+        }
+    }
+}
+
+/// Result of a Geobacter flux study.
+#[derive(Debug, Clone)]
+pub struct GeobacterOutcome {
+    /// Pareto-optimal flux designs (electron production, biomass production,
+    /// violation).
+    pub front: Vec<GeobacterSolution>,
+    /// Steady-state violation of a random flux vector of the same dimension,
+    /// the paper's "initial guess" reference (order 10⁶ at paper scale).
+    pub initial_violation: f64,
+    /// Smallest steady-state violation on the reported front.
+    pub best_violation: f64,
+}
+
+impl GeobacterOutcome {
+    /// The `count` best trade-off points ordered by decreasing biomass, i.e.
+    /// the paper's A–E labels in Figure 4.
+    pub fn labelled_points(&self, count: usize) -> Vec<GeobacterSolution> {
+        let mut sorted = self.front.clone();
+        sorted.sort_by(|a, b| {
+            b.biomass_production
+                .partial_cmp(&a.biomass_production)
+                .expect("fluxes are finite")
+        });
+        sorted.into_iter().take(count).collect()
+    }
+}
+
+/// An end-to-end Geobacter study: PMO2 over the [`GeobacterFluxProblem`].
+#[derive(Debug, Clone)]
+pub struct GeobacterStudy {
+    reactions: usize,
+    population: usize,
+    generations: usize,
+    islands: usize,
+}
+
+impl GeobacterStudy {
+    /// Creates a study at the paper's scale (608 reactions).
+    pub fn new() -> Self {
+        GeobacterStudy {
+            reactions: 608,
+            population: 60,
+            generations: 200,
+            islands: 2,
+        }
+    }
+
+    /// Overrides the synthetic model size (useful for tests and CI budgets).
+    #[must_use]
+    pub fn with_reactions(mut self, reactions: usize) -> Self {
+        self.reactions = reactions;
+        self
+    }
+
+    /// Overrides the optimization budget.
+    #[must_use]
+    pub fn with_budget(mut self, population: usize, generations: usize) -> Self {
+        self.population = population;
+        self.generations = generations;
+        self
+    }
+
+    /// Runs the study with a deterministic seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FBA failures while the problem is being constructed.
+    pub fn run(&self, seed: u64) -> Result<GeobacterOutcome, pathway_fba::FbaError> {
+        let model = GeobacterModel::builder()
+            .reactions(self.reactions)
+            .seed(seed ^ 0x6E0B)
+            .build();
+        let problem = GeobacterFluxProblem::new(&model)?;
+
+        // The paper's "initial guess" violation reference: a random vector in
+        // the model's raw flux bounds, far from steady state.
+        let mut perturbation = pathway_fba::FluxPerturbation::new(0.1, 10.0, seed);
+        let random_guess = perturbation.random_vector(problem.model());
+        let initial_violation =
+            pathway_fba::steady_state_violation(problem.model(), &random_guess)?;
+
+        let config = ArchipelagoConfig {
+            islands: self.islands,
+            island_config: Nsga2Config {
+                population_size: self.population,
+                generations: self.generations,
+                ..Default::default()
+            },
+            migration_interval: (self.generations / 2).max(1),
+            migration_probability: 0.5,
+            topology: MigrationTopology::Broadcast,
+        };
+        let front = Archipelago::new(config, seed).run(&problem);
+        let solutions: Vec<GeobacterSolution> = front
+            .iter()
+            .map(|individual| problem.decode(&individual.variables))
+            .collect();
+        let best_violation = solutions
+            .iter()
+            .map(|s| s.violation)
+            .fold(f64::INFINITY, f64::min);
+        Ok(GeobacterOutcome {
+            front: solutions,
+            initial_violation,
+            best_violation,
+        })
+    }
+}
+
+impl Default for GeobacterStudy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_study() -> LeafDesignStudy {
+        LeafDesignStudy::new(Scenario::present_low_export())
+            .with_budget(24, 30)
+            .with_migration(10, 0.5)
+            .with_robustness_trials(150)
+    }
+
+    #[test]
+    fn study_produces_a_trade_off_front() {
+        let outcome = quick_study().run(3);
+        assert!(outcome.front.len() >= 5, "front only had {} designs", outcome.front.len());
+        let max_uptake = outcome.max_uptake();
+        let min_nitrogen = outcome.min_nitrogen();
+        assert!(max_uptake.uptake > min_nitrogen.uptake);
+        assert!(max_uptake.nitrogen > min_nitrogen.nitrogen);
+        assert!(outcome.evaluations > 0);
+    }
+
+    #[test]
+    fn optimized_designs_beat_the_natural_leaf() {
+        let outcome = LeafDesignStudy::new(Scenario::present_low_export())
+            .with_budget(30, 80)
+            .with_migration(20, 0.5)
+            .run(11);
+        // The paper reports uptake raised from 15.5 to well above 30 at higher
+        // nitrogen; even a small budget should clear the natural uptake.
+        assert!(outcome.max_uptake().uptake > Scenario::NATURAL_UPTAKE);
+        // And some design should save nitrogen versus the natural leaf.
+        assert!(outcome.min_nitrogen().nitrogen < EnzymePartition::NATURAL_NITROGEN);
+    }
+
+    #[test]
+    fn candidate_b_preserves_uptake_with_less_nitrogen() {
+        let outcome = LeafDesignStudy::new(Scenario::present_low_export())
+            .with_budget(40, 120)
+            .with_migration(30, 0.5)
+            .run(17);
+        let candidate = outcome
+            .candidate_b(0.95)
+            .expect("some design preserves at least 95% of the natural uptake");
+        assert!(candidate.uptake >= Scenario::NATURAL_UPTAKE * 0.95);
+        assert!(candidate.nitrogen < EnzymePartition::NATURAL_NITROGEN);
+    }
+
+    #[test]
+    fn selected_designs_cover_the_papers_table_2_rows() {
+        let outcome = quick_study().run(5);
+        let selected = outcome.selected_designs(100, 8);
+        assert!(selected.max_uptake.0.uptake >= selected.min_nitrogen.0.uptake);
+        assert!(selected.min_nitrogen.0.nitrogen <= selected.closest_to_ideal.0.nitrogen);
+        for (_, yield_percent) in [
+            &selected.closest_to_ideal,
+            &selected.max_uptake,
+            &selected.min_nitrogen,
+            &selected.max_yield,
+        ] {
+            assert!((0.0..=100.0).contains(yield_percent));
+        }
+        assert!(selected.max_yield.1 >= selected.closest_to_ideal.1);
+    }
+
+    #[test]
+    fn spread_returns_the_requested_number_of_designs() {
+        let outcome = quick_study().run(9);
+        let spread = outcome.spread(5);
+        assert!(spread.len() <= 5);
+        assert!(!spread.is_empty());
+    }
+
+    #[test]
+    fn geobacter_study_finds_near_steady_state_trade_offs() {
+        let outcome = GeobacterStudy::new()
+            .with_reactions(48)
+            .with_budget(30, 30)
+            .run(2)
+            .expect("small geobacter study must run");
+        assert!(!outcome.front.is_empty());
+        // The evolved solutions violate the steady-state constraint far less
+        // than a random initial guess (the paper reports a ~26x reduction).
+        assert!(outcome.best_violation < outcome.initial_violation / 5.0);
+        let labelled = outcome.labelled_points(5);
+        assert!(!labelled.is_empty());
+        assert!(labelled[0].biomass_production >= labelled.last().unwrap().biomass_production);
+    }
+}

@@ -1,0 +1,23 @@
+//! Convenience re-exports for downstream users.
+//!
+//! ```
+//! use pathway_core::prelude::*;
+//!
+//! let problem = LeafRedesignProblem::new(Scenario::present_low_export());
+//! assert_eq!(problem.num_variables(), 23);
+//! ```
+
+pub use crate::{
+    GeobacterFluxProblem, GeobacterOutcome, GeobacterSolution, GeobacterStudy, LeafDesign,
+    LeafDesignOutcome, LeafDesignStudy, LeafRedesignProblem, SelectedLeafDesigns,
+};
+
+pub use pathway_fba::geobacter::GeobacterModel;
+pub use pathway_fba::{FluxBalanceAnalysis, MetabolicModel};
+pub use pathway_moo::{
+    Archipelago, ArchipelagoConfig, Individual, Moead, MoeadConfig, MigrationTopology,
+    MultiObjectiveProblem, Nsga2, Nsga2Config, Pmo2,
+};
+pub use pathway_photosynthesis::{
+    CarbonDioxideEra, EnzymeKind, EnzymePartition, Scenario, TriosePhosphateExport, UptakeModel,
+};

@@ -1,0 +1,200 @@
+//! Report types mirroring the tables and figures of the paper, plus a small
+//! plain-text table renderer used by the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// One row of the paper's Table 1 (Pareto-front quality comparison).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageRow {
+    /// Algorithm name (`"PMO2"`, `"MOEA-D"`).
+    pub algorithm: String,
+    /// Number of non-dominated points found.
+    pub points: usize,
+    /// Relative Pareto coverage R_p.
+    pub relative_coverage: f64,
+    /// Global Pareto coverage G_p.
+    pub global_coverage: f64,
+    /// Hypervolume indicator V_p.
+    pub hypervolume: f64,
+}
+
+impl CoverageRow {
+    /// Renders the row as table cells.
+    pub fn cells(&self) -> Vec<String> {
+        vec![
+            self.algorithm.clone(),
+            self.points.to_string(),
+            format!("{:.3}", self.relative_coverage),
+            format!("{:.3}", self.global_coverage),
+            format!("{:.3}", self.hypervolume),
+        ]
+    }
+}
+
+/// One row of the paper's Table 2 (selected trade-off solutions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionRow {
+    /// Selection criterion (`"Closest-to-ideal"`, `"Max CO2 Uptake"`, ...).
+    pub selection: String,
+    /// CO₂ uptake in µmol m⁻² s⁻¹.
+    pub co2_uptake: f64,
+    /// Nitrogen in mg/l.
+    pub nitrogen: f64,
+    /// Robustness yield in percent.
+    pub yield_percent: f64,
+}
+
+impl SelectionRow {
+    /// Renders the row as table cells.
+    pub fn cells(&self) -> Vec<String> {
+        vec![
+            self.selection.clone(),
+            format!("{:.3}", self.co2_uptake),
+            format!("{:.3e}", self.nitrogen),
+            format!("{:.0}", self.yield_percent),
+        ]
+    }
+}
+
+/// One series of the paper's Figure 1: the Pareto front of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure1Series {
+    /// Scenario label, e.g. `"Present: Ci=270, low export"`.
+    pub label: String,
+    /// `(CO₂ uptake, nitrogen)` points along the front.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// One bar of the paper's Figure 2: the concentration ratio of one enzyme in
+/// the re-engineered leaf relative to the natural leaf.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure2Bar {
+    /// Enzyme name as labelled in the figure.
+    pub enzyme: String,
+    /// Ratio of engineered to natural capacity.
+    pub ratio: f64,
+}
+
+/// One labelled point of the paper's Figure 4 (Geobacter Pareto front).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure4Point {
+    /// Point label (A–E in the paper).
+    pub label: String,
+    /// Electron production in mmol/gDW/h.
+    pub electron_production: f64,
+    /// Biomass production in 1/h.
+    pub biomass_production: f64,
+}
+
+/// Renders rows of cells as an aligned plain-text table with a header.
+///
+/// # Example
+///
+/// ```
+/// use pathway_core::render_table;
+///
+/// let table = render_table(
+///     &["Algorithm", "Points"],
+///     &[vec!["PMO2".to_string(), "755".to_string()]],
+/// );
+/// assert!(table.contains("PMO2"));
+/// assert!(table.lines().count() >= 3);
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let columns = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(columns) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate().take(widths.len()) {
+            let _ = write!(line, "{:<width$}  ", cell, width = widths[i]);
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_row_cells_are_formatted() {
+        let row = CoverageRow {
+            algorithm: "PMO2".into(),
+            points: 755,
+            relative_coverage: 1.0,
+            global_coverage: 1.0,
+            hypervolume: 0.976,
+        };
+        let cells = row.cells();
+        assert_eq!(cells[0], "PMO2");
+        assert_eq!(cells[1], "755");
+        assert_eq!(cells[4], "0.976");
+    }
+
+    #[test]
+    fn selection_row_cells_are_formatted() {
+        let row = SelectionRow {
+            selection: "Max CO2 Uptake".into(),
+            co2_uptake: 39.968,
+            nitrogen: 2.641e5,
+            yield_percent: 65.0,
+        };
+        let cells = row.cells();
+        assert!(cells[1].starts_with("39.968"));
+        assert!(cells[2].contains('e'));
+        assert_eq!(cells[3], "65");
+    }
+
+    #[test]
+    fn table_renderer_aligns_columns() {
+        let table = render_table(
+            &["Name", "Value"],
+            &[
+                vec!["a".to_string(), "1".to_string()],
+                vec!["long-name".to_string(), "2".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Header and separator present, all rows mention their first cell.
+        assert!(lines[0].starts_with("Name"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[3].starts_with("long-name"));
+    }
+
+    #[test]
+    fn figure_types_hold_their_data() {
+        let series = Figure1Series {
+            label: "present".into(),
+            points: vec![(15.5, 208_330.0)],
+        };
+        assert_eq!(series.points.len(), 1);
+        let bar = Figure2Bar {
+            enzyme: "Rubisco".into(),
+            ratio: 0.9,
+        };
+        assert_eq!(bar.enzyme, "Rubisco");
+        let point = Figure4Point {
+            label: "A".into(),
+            electron_production: 158.14,
+            biomass_production: 0.3,
+        };
+        assert!(point.electron_production > point.biomass_production);
+    }
+}

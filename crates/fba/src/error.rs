@@ -1,0 +1,70 @@
+use std::fmt;
+
+use pathway_linalg::LinalgError;
+
+/// Error type for constraint-based modelling operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FbaError {
+    /// A named metabolite or reaction was not found in the model.
+    UnknownName(String),
+    /// The model failed a structural validation check.
+    InvalidModel(String),
+    /// The underlying linear program could not be solved.
+    Linear(LinalgError),
+    /// A flux vector had the wrong length for the model.
+    DimensionMismatch {
+        /// Number of reactions in the model.
+        expected: usize,
+        /// Length of the supplied flux vector.
+        found: usize,
+    },
+}
+
+impl fmt::Display for FbaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FbaError::UnknownName(name) => write!(f, "unknown metabolite or reaction: {name}"),
+            FbaError::InvalidModel(msg) => write!(f, "invalid metabolic model: {msg}"),
+            FbaError::Linear(err) => write!(f, "linear programming failure: {err}"),
+            FbaError::DimensionMismatch { expected, found } => {
+                write!(f, "flux vector length {found} does not match {expected} reactions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FbaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FbaError::Linear(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for FbaError {
+    fn from(err: LinalgError) -> Self {
+        FbaError::Linear(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FbaError::UnknownName("atp".into());
+        assert!(e.to_string().contains("atp"));
+        let wrapped = FbaError::from(LinalgError::Infeasible);
+        assert!(wrapped.to_string().contains("infeasible"));
+        assert!(std::error::Error::source(&wrapped).is_some());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FbaError>();
+    }
+}

@@ -1,0 +1,186 @@
+use pathway_linalg::{simplex, LinearProgram, Objective};
+
+use crate::{FbaError, MetabolicModel};
+
+/// Result of a flux balance analysis solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FbaSolution {
+    /// Optimal value of the objective flux.
+    pub objective_value: f64,
+    /// The full flux vector (one entry per reaction, model order).
+    pub fluxes: Vec<f64>,
+    /// Number of simplex pivots used.
+    pub iterations: usize,
+}
+
+/// Flux variability range of one reaction at a fixed objective level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FluxVariability {
+    /// Minimum attainable flux.
+    pub minimum: f64,
+    /// Maximum attainable flux.
+    pub maximum: f64,
+}
+
+/// Flux balance analysis over a [`MetabolicModel`]: maximize (or minimize) one
+/// reaction flux subject to the steady-state constraint `S·v = 0` and the
+/// per-reaction bounds, exactly the LP the COBRA toolbox solves.
+///
+/// # Example
+///
+/// ```
+/// use pathway_fba::{FluxBalanceAnalysis, geobacter::GeobacterModel};
+///
+/// # fn main() -> Result<(), pathway_fba::FbaError> {
+/// let model = GeobacterModel::builder().reactions(96).build().into_model();
+/// let fba = FluxBalanceAnalysis::new(&model);
+/// let biomass = model.reaction_index("biomass").expect("biomass reaction exists");
+/// let solution = fba.maximize_reaction(biomass)?;
+/// assert_eq!(solution.fluxes.len(), model.num_reactions());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FluxBalanceAnalysis<'a> {
+    model: &'a MetabolicModel,
+}
+
+impl<'a> FluxBalanceAnalysis<'a> {
+    /// Creates an analysis bound to a model.
+    pub fn new(model: &'a MetabolicModel) -> Self {
+        FluxBalanceAnalysis { model }
+    }
+
+    fn build_program(&self, objective_reaction: usize, sense: Objective) -> LinearProgram {
+        let n = self.model.num_reactions();
+        let mut lp = LinearProgram::new(n, sense);
+        lp.set_objective_coefficient(objective_reaction, 1.0)
+            .expect("objective reaction index is validated by the caller");
+        for (i, bound) in self.model.flux_bounds().into_iter().enumerate() {
+            lp.set_bound(i, bound).expect("model bounds are valid");
+        }
+        let s = self.model.stoichiometric_matrix();
+        for row in 0..s.rows() {
+            let coefficients: Vec<(usize, f64)> = s.row_entries(row).collect();
+            if !coefficients.is_empty() {
+                lp.add_equal(&coefficients, 0.0)
+                    .expect("stoichiometric coefficients reference valid reactions");
+            }
+        }
+        lp
+    }
+
+    fn solve(&self, objective_reaction: usize, sense: Objective) -> Result<FbaSolution, FbaError> {
+        if objective_reaction >= self.model.num_reactions() {
+            return Err(FbaError::DimensionMismatch {
+                expected: self.model.num_reactions(),
+                found: objective_reaction,
+            });
+        }
+        let lp = self.build_program(objective_reaction, sense);
+        let solution = simplex::solve(&lp)?;
+        Ok(FbaSolution {
+            objective_value: solution.objective_value,
+            fluxes: solution.variables,
+            iterations: solution.iterations,
+        })
+    }
+
+    /// Maximizes the flux through `objective_reaction`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the reaction index is out of range or the LP is
+    /// infeasible/unbounded.
+    pub fn maximize_reaction(&self, objective_reaction: usize) -> Result<FbaSolution, FbaError> {
+        self.solve(objective_reaction, Objective::Maximize)
+    }
+
+    /// Minimizes the flux through `objective_reaction`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FluxBalanceAnalysis::maximize_reaction`].
+    pub fn minimize_reaction(&self, objective_reaction: usize) -> Result<FbaSolution, FbaError> {
+        self.solve(objective_reaction, Objective::Minimize)
+    }
+
+    /// Flux variability analysis of one reaction: its attainable flux range
+    /// over the steady-state polytope (without constraining the objective).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FluxBalanceAnalysis::maximize_reaction`].
+    pub fn variability(&self, reaction: usize) -> Result<FluxVariability, FbaError> {
+        let minimum = self.minimize_reaction(reaction)?.objective_value;
+        let maximum = self.maximize_reaction(reaction)?.objective_value;
+        Ok(FluxVariability { minimum, maximum })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::test_models::toy_model;
+
+    #[test]
+    fn toy_biomass_is_limited_by_uptake() {
+        let model = toy_model();
+        let fba = FluxBalanceAnalysis::new(&model);
+        let biomass = model.reaction_index("biomass").unwrap();
+        let solution = fba.maximize_reaction(biomass).unwrap();
+        assert!((solution.objective_value - 10.0).abs() < 1e-6);
+        // At the optimum the whole uptake is converted, nothing leaks.
+        let leak = model.reaction_index("leak").unwrap();
+        assert!(solution.fluxes[leak].abs() < 1e-6);
+    }
+
+    #[test]
+    fn steady_state_holds_at_the_optimum() {
+        let model = toy_model();
+        let fba = FluxBalanceAnalysis::new(&model);
+        let solution = fba
+            .maximize_reaction(model.reaction_index("biomass").unwrap())
+            .unwrap();
+        let s = model.stoichiometric_matrix();
+        let v = pathway_linalg::Vector::from(solution.fluxes.clone());
+        let residual = s.mat_vec(&v).unwrap();
+        assert!(residual.norm_inf() < 1e-6);
+    }
+
+    #[test]
+    fn pinning_a_reaction_propagates_to_the_solution() {
+        let mut model = toy_model();
+        model.pin_reaction("leak", 0.45).unwrap();
+        let fba = FluxBalanceAnalysis::new(&model);
+        let solution = fba
+            .maximize_reaction(model.reaction_index("biomass").unwrap())
+            .unwrap();
+        let leak = model.reaction_index("leak").unwrap();
+        assert!((solution.fluxes[leak] - 0.45).abs() < 1e-6);
+        // Biomass loses exactly the pinned leak.
+        assert!((solution.objective_value - 9.55).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimization_and_variability() {
+        let model = toy_model();
+        let fba = FluxBalanceAnalysis::new(&model);
+        let biomass = model.reaction_index("biomass").unwrap();
+        let min = fba.minimize_reaction(biomass).unwrap();
+        assert!(min.objective_value.abs() < 1e-6);
+        let range = fba.variability(biomass).unwrap();
+        assert!(range.minimum.abs() < 1e-6);
+        assert!((range.maximum - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_reaction_index_is_rejected() {
+        let model = toy_model();
+        let fba = FluxBalanceAnalysis::new(&model);
+        assert!(matches!(
+            fba.maximize_reaction(99),
+            Err(FbaError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,146 @@
+//! Steady-state constraint violation of candidate flux vectors.
+//!
+//! The paper's Geobacter optimization perturbs whole flux vectors and steers
+//! the search towards steady-state solutions by minimizing the violation of
+//! `S·x̄ = 0` (Section 3.2: the initial guess violates the constraint on the
+//! order of 10⁶ and the reported solution A reduces it by a factor of ≈26.5).
+//! This module provides that scoring.
+
+use pathway_linalg::Vector;
+
+use crate::{FbaError, MetabolicModel};
+
+/// Euclidean norm of the steady-state residual `S·v` for a candidate flux
+/// vector `v`.
+///
+/// # Errors
+///
+/// Returns [`FbaError::DimensionMismatch`] if `fluxes.len()` differs from the
+/// model's reaction count.
+pub fn steady_state_violation(model: &MetabolicModel, fluxes: &[f64]) -> Result<f64, FbaError> {
+    if fluxes.len() != model.num_reactions() {
+        return Err(FbaError::DimensionMismatch {
+            expected: model.num_reactions(),
+            found: fluxes.len(),
+        });
+    }
+    let v = Vector::from(fluxes);
+    let residual = model
+        .stoichiometric_matrix()
+        .mat_vec(&v)
+        .map_err(FbaError::from)?;
+    Ok(residual.norm2())
+}
+
+/// Sum of squared residuals (the quantity a quadratic penalty would use).
+///
+/// # Errors
+///
+/// Same as [`steady_state_violation`].
+pub fn violation_norm(model: &MetabolicModel, fluxes: &[f64]) -> Result<f64, FbaError> {
+    let norm = steady_state_violation(model, fluxes)?;
+    Ok(norm * norm)
+}
+
+/// A reusable penalty scorer that also accounts for flux-bound violations, so
+/// the optimizer can treat "how infeasible is this flux vector" as a single
+/// scalar.
+#[derive(Debug, Clone)]
+pub struct ViolationPenalty {
+    bounds: Vec<(f64, f64)>,
+    /// Weight of the steady-state residual relative to bound violations.
+    pub steady_state_weight: f64,
+    /// Weight of the bound violations.
+    pub bound_weight: f64,
+}
+
+impl ViolationPenalty {
+    /// Creates a penalty scorer for a model with unit weights.
+    pub fn new(model: &MetabolicModel) -> Self {
+        ViolationPenalty {
+            bounds: model
+                .flux_bounds()
+                .into_iter()
+                .map(|b| (b.lower, b.upper))
+                .collect(),
+            steady_state_weight: 1.0,
+            bound_weight: 1.0,
+        }
+    }
+
+    /// Total bound violation of a flux vector (sum of overshoots).
+    pub fn bound_violation(&self, fluxes: &[f64]) -> f64 {
+        self.bounds
+            .iter()
+            .zip(fluxes.iter())
+            .map(|(&(lower, upper), &v)| (lower - v).max(0.0) + (v - upper).max(0.0))
+            .sum()
+    }
+
+    /// Combined penalty: weighted steady-state residual plus weighted bound
+    /// violation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`steady_state_violation`].
+    pub fn total(&self, model: &MetabolicModel, fluxes: &[f64]) -> Result<f64, FbaError> {
+        let steady = steady_state_violation(model, fluxes)?;
+        Ok(self.steady_state_weight * steady + self.bound_weight * self.bound_violation(fluxes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::test_models::toy_model;
+
+    #[test]
+    fn a_balanced_flux_vector_has_zero_violation() {
+        let model = toy_model();
+        // uptake = convert = biomass = 2, leak = 0: A and B are balanced.
+        let fluxes = vec![2.0, 2.0, 2.0, 0.0];
+        assert!(steady_state_violation(&model, &fluxes).unwrap() < 1e-12);
+        assert!(violation_norm(&model, &fluxes).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn an_unbalanced_flux_vector_is_scored() {
+        let model = toy_model();
+        // Uptake with nothing downstream: A accumulates at rate 5.
+        let fluxes = vec![5.0, 0.0, 0.0, 0.0];
+        let violation = steady_state_violation(&model, &fluxes).unwrap();
+        assert!((violation - 5.0).abs() < 1e-12);
+        assert!((violation_norm(&model, &fluxes).unwrap() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn violation_scales_with_the_imbalance() {
+        let model = toy_model();
+        let small = steady_state_violation(&model, &[1.0, 0.0, 0.0, 0.0]).unwrap();
+        let large = steady_state_violation(&model, &[10.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!((large - 10.0 * small).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrong_length_is_rejected() {
+        let model = toy_model();
+        assert!(matches!(
+            steady_state_violation(&model, &[1.0, 2.0]),
+            Err(FbaError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn penalty_combines_bounds_and_steady_state() {
+        let model = toy_model();
+        let penalty = ViolationPenalty::new(&model);
+        // leak bound is [0, 1]; a leak of 3 violates it by 2.
+        let fluxes = vec![2.0, 2.0, 2.0, 3.0];
+        assert!((penalty.bound_violation(&fluxes) - 2.0).abs() < 1e-12);
+        let total = penalty.total(&model, &fluxes).unwrap();
+        // Steady-state residual: A balance = 2 - 2 - 3 = -3.
+        assert!(total > 2.0 + 2.9);
+        // A fully consistent vector scores zero.
+        assert_eq!(penalty.total(&model, &[2.0, 2.0, 2.0, 0.0]).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Enzyme-kinetics toolkit shared by the metabolic models in this workspace.
+//!
+//! The crate provides the vocabulary the C3 photosynthesis model and the
+//! optimization layer talk in:
+//!
+//! * [`Enzyme`] — a catalytic protein with a turnover number, Michaelis
+//!   constant and molecular weight.
+//! * [`rate_laws`] — Michaelis–Menten rate laws with inhibition and
+//!   activation, plus simple mass-action kinetics for equilibrium pools.
+//! * [`nitrogen`] — the protein-nitrogen cost of an enzyme partition, the
+//!   second objective of the paper's leaf-redesign problem.
+//! * [`ReactionNetwork`] — a small builder for metabolite/reaction networks
+//!   used to sanity-check stoichiometric consistency.
+//!
+//! # Example
+//!
+//! ```
+//! use pathway_kinetics::rate_laws;
+//!
+//! // Rubisco-like carboxylation at saturating substrate runs near Vmax.
+//! let v = rate_laws::michaelis_menten(100.0, 2.0, 50.0);
+//! assert!(v > 95.0 && v <= 100.0);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod enzyme;
+mod network;
+pub mod nitrogen;
+pub mod rate_laws;
+
+pub use enzyme::{Enzyme, EnzymeId, KineticConstants};
+pub use network::{Metabolite, Reaction, ReactionNetwork};

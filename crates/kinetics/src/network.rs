@@ -1,0 +1,259 @@
+use std::collections::HashMap;
+use std::fmt;
+
+/// A metabolite pool in a reaction network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metabolite {
+    /// Short identifier, e.g. `"RuBP"`.
+    pub name: String,
+    /// `true` if the pool is treated as an external boundary species whose
+    /// concentration is held fixed (CO₂ in the stroma, exported sucrose, ...).
+    pub boundary: bool,
+}
+
+/// A reaction with sparse stoichiometry over the network's metabolites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reaction {
+    /// Short identifier, e.g. `"rubisco_carboxylation"`.
+    pub name: String,
+    /// `(metabolite index, stoichiometric coefficient)` pairs; negative
+    /// coefficients are consumed, positive ones produced.
+    pub stoichiometry: Vec<(usize, f64)>,
+    /// `true` if the reaction may run backwards.
+    pub reversible: bool,
+}
+
+/// A small metabolite/reaction network builder.
+///
+/// The photosynthesis crate uses this to declare its pathway topology once and
+/// assert conservation properties (carbon and phosphate balance) in tests; the
+/// FBA crate has its own heavier-weight stoichiometric model type.
+///
+/// # Example
+///
+/// ```
+/// use pathway_kinetics::ReactionNetwork;
+///
+/// let mut network = ReactionNetwork::new();
+/// let a = network.add_metabolite("A", false);
+/// let b = network.add_metabolite("B", false);
+/// network.add_reaction("a_to_b", &[(a, -1.0), (b, 1.0)], false);
+/// assert_eq!(network.num_reactions(), 1);
+/// assert!(network.is_balanced("a_to_b", &[("A", 1.0), ("B", 1.0)]).unwrap());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReactionNetwork {
+    metabolites: Vec<Metabolite>,
+    reactions: Vec<Reaction>,
+    name_index: HashMap<String, usize>,
+}
+
+impl ReactionNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a metabolite and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a metabolite with the same name already exists.
+    pub fn add_metabolite(&mut self, name: impl Into<String>, boundary: bool) -> usize {
+        let name = name.into();
+        assert!(
+            !self.name_index.contains_key(&name),
+            "duplicate metabolite name: {name}"
+        );
+        let index = self.metabolites.len();
+        self.name_index.insert(name.clone(), index);
+        self.metabolites.push(Metabolite { name, boundary });
+        index
+    }
+
+    /// Adds a reaction over existing metabolites and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any metabolite index is out of range.
+    pub fn add_reaction(
+        &mut self,
+        name: impl Into<String>,
+        stoichiometry: &[(usize, f64)],
+        reversible: bool,
+    ) -> usize {
+        for &(m, _) in stoichiometry {
+            assert!(m < self.metabolites.len(), "metabolite index {m} out of range");
+        }
+        let index = self.reactions.len();
+        self.reactions.push(Reaction {
+            name: name.into(),
+            stoichiometry: stoichiometry.to_vec(),
+            reversible,
+        });
+        index
+    }
+
+    /// Number of metabolites.
+    pub fn num_metabolites(&self) -> usize {
+        self.metabolites.len()
+    }
+
+    /// Number of reactions.
+    pub fn num_reactions(&self) -> usize {
+        self.reactions.len()
+    }
+
+    /// Metabolite records in insertion order.
+    pub fn metabolites(&self) -> &[Metabolite] {
+        &self.metabolites
+    }
+
+    /// Reaction records in insertion order.
+    pub fn reactions(&self) -> &[Reaction] {
+        &self.reactions
+    }
+
+    /// Index of a metabolite by name.
+    pub fn metabolite_index(&self, name: &str) -> Option<usize> {
+        self.name_index.get(name).copied()
+    }
+
+    /// Checks elemental balance of one reaction given a per-metabolite element
+    /// content table `(metabolite name, atoms per molecule)`.
+    ///
+    /// Returns `None` if the reaction name is unknown. Boundary metabolites are
+    /// included: a reaction exchanging matter with a boundary pool is balanced
+    /// only if the boundary species carries the difference.
+    pub fn is_balanced(&self, reaction: &str, element_content: &[(&str, f64)]) -> Option<bool> {
+        let reaction = self.reactions.iter().find(|r| r.name == reaction)?;
+        let content: HashMap<&str, f64> = element_content.iter().copied().collect();
+        let mut balance = 0.0;
+        for &(m, coeff) in &reaction.stoichiometry {
+            let name = self.metabolites[m].name.as_str();
+            let atoms = content.get(name).copied().unwrap_or(0.0);
+            balance += coeff * atoms;
+        }
+        Some(balance.abs() < 1e-9)
+    }
+
+    /// Net stoichiometric production of a metabolite when every reaction runs
+    /// at the given flux (one flux per reaction, same ordering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fluxes.len() != self.num_reactions()` or the metabolite is
+    /// unknown.
+    pub fn net_production(&self, metabolite: &str, fluxes: &[f64]) -> f64 {
+        assert_eq!(
+            fluxes.len(),
+            self.reactions.len(),
+            "one flux per reaction is required"
+        );
+        let index = self
+            .metabolite_index(metabolite)
+            .unwrap_or_else(|| panic!("unknown metabolite: {metabolite}"));
+        let mut net = 0.0;
+        for (reaction, &flux) in self.reactions.iter().zip(fluxes.iter()) {
+            for &(m, coeff) in &reaction.stoichiometry {
+                if m == index {
+                    net += coeff * flux;
+                }
+            }
+        }
+        net
+    }
+}
+
+impl fmt::Display for ReactionNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reaction network with {} metabolites and {} reactions",
+            self.num_metabolites(),
+            self.num_reactions()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_network() -> ReactionNetwork {
+        let mut network = ReactionNetwork::new();
+        let co2 = network.add_metabolite("CO2", true);
+        let rubp = network.add_metabolite("RuBP", false);
+        let pga = network.add_metabolite("PGA", false);
+        // RuBP + CO2 -> 2 PGA
+        network.add_reaction(
+            "carboxylation",
+            &[(rubp, -1.0), (co2, -1.0), (pga, 2.0)],
+            false,
+        );
+        // 5/3 PGA -> RuBP (lumped regeneration, not carbon balanced on purpose)
+        network.add_reaction("regeneration", &[(pga, -5.0 / 3.0), (rubp, 1.0)], false);
+        network
+    }
+
+    #[test]
+    fn indices_and_lookup() {
+        let network = toy_network();
+        assert_eq!(network.num_metabolites(), 3);
+        assert_eq!(network.num_reactions(), 2);
+        assert_eq!(network.metabolite_index("PGA"), Some(2));
+        assert_eq!(network.metabolite_index("missing"), None);
+        assert!(network.metabolites()[0].boundary);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metabolite name")]
+    fn duplicate_metabolite_panics() {
+        let mut network = ReactionNetwork::new();
+        network.add_metabolite("A", false);
+        network.add_metabolite("A", false);
+    }
+
+    #[test]
+    fn carbon_balance_of_carboxylation() {
+        let network = toy_network();
+        // Carbon content: CO2 = 1, RuBP = 5, PGA = 3 → -5 - 1 + 2*3 = 0.
+        let balanced = network
+            .is_balanced("carboxylation", &[("CO2", 1.0), ("RuBP", 5.0), ("PGA", 3.0)])
+            .unwrap();
+        assert!(balanced);
+        // The lumped regeneration reaction is carbon balanced but not
+        // phosphate balanced (RuBP carries 2 phosphates, PGA only 1).
+        let unbalanced = network
+            .is_balanced("regeneration", &[("RuBP", 2.0), ("PGA", 1.0)])
+            .unwrap();
+        assert!(!unbalanced);
+        assert!(network.is_balanced("nope", &[]).is_none());
+    }
+
+    #[test]
+    fn net_production_accumulates_over_reactions() {
+        let network = toy_network();
+        // Carboxylation at flux 3, regeneration at flux 1.2:
+        // PGA: +2*3 - 5/3*1.2 = 6 - 2 = 4.
+        let net = network.net_production("PGA", &[3.0, 1.2]);
+        assert!((net - 4.0).abs() < 1e-12);
+        // RuBP: -3 + 1.2 = -1.8
+        let net = network.net_production("RuBP", &[3.0, 1.2]);
+        assert!((net + 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one flux per reaction")]
+    fn net_production_checks_flux_length() {
+        let network = toy_network();
+        let _ = network.net_production("PGA", &[1.0]);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let network = toy_network();
+        let s = format!("{network}");
+        assert!(s.contains('3') && s.contains('2'));
+    }
+}

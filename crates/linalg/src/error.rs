@@ -1,0 +1,104 @@
+use std::fmt;
+
+/// Error type for all fallible operations in `pathway-linalg`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands have incompatible shapes.
+    DimensionMismatch {
+        /// Shape expected by the operation, e.g. `"3x4"` or `"len 5"`.
+        expected: String,
+        /// Shape actually provided.
+        found: String,
+    },
+    /// The matrix is singular (or numerically singular) and cannot be factored
+    /// or solved against.
+    SingularMatrix {
+        /// Pivot column at which the factorization broke down.
+        pivot: usize,
+    },
+    /// A matrix constructor was handed rows of unequal length.
+    RaggedRows {
+        /// Index of the first offending row.
+        row: usize,
+    },
+    /// An empty matrix or vector was supplied where a non-empty one is needed.
+    Empty,
+    /// An index was out of range.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The length or dimension it was checked against.
+        len: usize,
+    },
+    /// The linear program is infeasible: no point satisfies all constraints.
+    Infeasible,
+    /// The linear program is unbounded in the direction of optimization.
+    Unbounded,
+    /// The simplex iteration limit was exceeded before reaching optimality.
+    IterationLimit {
+        /// Number of pivots performed before giving up.
+        iterations: usize,
+    },
+    /// A numerical argument was invalid (NaN bound, negative tolerance, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            LinalgError::SingularMatrix { pivot } => {
+                write!(f, "matrix is singular at pivot column {pivot}")
+            }
+            LinalgError::RaggedRows { row } => {
+                write!(f, "row {row} has a different length from row 0")
+            }
+            LinalgError::Empty => write!(f, "matrix or vector must not be empty"),
+            LinalgError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            LinalgError::Infeasible => write!(f, "linear program is infeasible"),
+            LinalgError::Unbounded => write!(f, "linear program is unbounded"),
+            LinalgError::IterationLimit { iterations } => {
+                write!(f, "simplex did not converge within {iterations} pivots")
+            }
+            LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = LinalgError::DimensionMismatch {
+            expected: "3x3".into(),
+            found: "2x3".into(),
+        };
+        assert_eq!(e.to_string(), "dimension mismatch: expected 3x3, found 2x3");
+        assert_eq!(
+            LinalgError::SingularMatrix { pivot: 2 }.to_string(),
+            "matrix is singular at pivot column 2"
+        );
+        assert_eq!(LinalgError::Infeasible.to_string(), "linear program is infeasible");
+        assert_eq!(LinalgError::Unbounded.to_string(), "linear program is unbounded");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(LinalgError::Empty);
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,268 @@
+use crate::{LinalgError, Matrix, Vector};
+
+/// LU factorization with partial (row) pivoting: `P A = L U`.
+///
+/// The factorization is stored compactly: the strictly lower triangle of
+/// `lu` holds the multipliers of `L` (whose diagonal is implicitly 1) and the
+/// upper triangle holds `U`.
+///
+/// # Example
+///
+/// ```
+/// use pathway_linalg::{Matrix, Vector};
+///
+/// # fn main() -> Result<(), pathway_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]])?;
+/// let lu = a.lu()?;
+/// let x = lu.solve(&Vector::from(vec![3.0, 5.0]))?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    lu: Matrix,
+    /// Row permutation: row `i` of the factored matrix came from row `perm[i]`
+    /// of the original.
+    perm: Vec<usize>,
+    /// Sign of the permutation, used for the determinant.
+    perm_sign: f64,
+}
+
+impl LuDecomposition {
+    /// Pivot magnitudes below this threshold are treated as singular.
+    const SINGULARITY_TOL: f64 = 1e-13;
+
+    /// Factors the square matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] if `a` is not square.
+    /// * [`LinalgError::SingularMatrix`] if a pivot is (numerically) zero.
+    pub fn new(a: &Matrix) -> crate::Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("{0}x{0}", a.rows()),
+                found: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Find the pivot row.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for r in (k + 1)..n {
+                let v = lu[(r, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < Self::SINGULARITY_TOL {
+                return Err(LinalgError::SingularMatrix { pivot: k });
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(pivot_row, c)];
+                    lu[(pivot_row, c)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            // Eliminate below the pivot.
+            let pivot = lu[(k, k)];
+            for r in (k + 1)..n {
+                let factor = lu[(r, k)] / pivot;
+                lu[(r, k)] = factor;
+                for c in (k + 1)..n {
+                    let val = lu[(k, c)];
+                    lu[(r, c)] -= factor * val;
+                }
+            }
+        }
+
+        Ok(LuDecomposition {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b` using the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &Vector) -> crate::Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("len {n}"),
+                found: format!("len {}", b.len()),
+            });
+        }
+        // Forward substitution with permuted b (L y = P b).
+        let mut y = Vector::zeros(n);
+        for i in 0..n {
+            let mut acc = b[self.perm[i]];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = acc;
+        }
+        // Back substitution (U x = y).
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.dim() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+
+    /// Inverse of the original matrix, built column by column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`LuDecomposition::solve`].
+    pub fn inverse(&self) -> crate::Result<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        for col in 0..n {
+            let mut e = Vector::zeros(n);
+            e[col] = 1.0;
+            let x = self.solve(&e)?;
+            for row in 0..n {
+                inv[(row, col)] = x[row];
+            }
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_a_well_conditioned_system() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, -2.0, 1.0],
+            vec![-2.0, 4.0, -2.0],
+            vec![1.0, -2.0, 4.0],
+        ])
+        .unwrap();
+        let b = Vector::from(vec![1.0, 2.0, 3.0]);
+        let x = a.lu().unwrap().solve(&b).unwrap();
+        let r = &a.mat_vec(&x).unwrap() - &b;
+        assert!(r.norm2() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = a.lu().unwrap().solve(&Vector::from(vec![2.0, 3.0])).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(a.lu(), Err(LinalgError::SingularMatrix { .. })));
+    }
+
+    #[test]
+    fn non_square_matrix_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.lu(),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant_of_diagonal_matrix() {
+        let a = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 5.0]]).unwrap();
+        assert!((a.lu().unwrap().determinant() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_sign_tracks_permutation() {
+        // Swapping two rows of the identity gives determinant -1.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        assert!((a.lu().unwrap().determinant() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[
+            vec![3.0, 0.5, -1.0],
+            vec![0.5, 2.0, 0.25],
+            vec![-1.0, 0.25, 4.0],
+        ])
+        .unwrap();
+        let inv = a.lu().unwrap().inverse().unwrap();
+        let prod = a.mat_mul(&inv).unwrap();
+        let diff = &prod - &Matrix::identity(3);
+        assert!(diff.frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs_length() {
+        let a = Matrix::identity(3);
+        let lu = a.lu().unwrap();
+        assert!(lu.solve(&Vector::zeros(2)).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_solve_recovers_known_solution(n in 1usize..7, seed in 0u64..500) {
+            // Build a diagonally dominant (hence nonsingular) matrix.
+            let mut a = Matrix::zeros(n, n);
+            for r in 0..n {
+                let mut row_sum = 0.0;
+                for c in 0..n {
+                    if r != c {
+                        let v = (((r * 31 + c * 17) as u64 + seed) % 19) as f64 / 10.0 - 0.9;
+                        a[(r, c)] = v;
+                        row_sum += v.abs();
+                    }
+                }
+                a[(r, r)] = row_sum + 1.0 + (seed % 5) as f64;
+            }
+            let x_true: Vector = (0..n).map(|i| (i as f64) - 1.5).collect();
+            let b = a.mat_vec(&x_true).unwrap();
+            let x = a.lu().unwrap().solve(&b).unwrap();
+            for i in 0..n {
+                prop_assert!((x[i] - x_true[i]).abs() < 1e-8);
+            }
+        }
+    }
+}

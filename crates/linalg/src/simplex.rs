@@ -1,0 +1,702 @@
+//! A two-phase primal simplex solver for [`LinearProgram`]s with bounded
+//! variables.
+//!
+//! The solver densifies the constraint matrix, converts general bounds to
+//! shifted non-negative variables (splitting free variables into a positive
+//! and a negative part), adds slack/surplus/artificial columns, and runs a
+//! textbook two-phase tableau simplex with Dantzig pricing and a Bland
+//! fallback that guarantees termination.
+//!
+//! Flux balance analysis in `pathway-fba` calls [`solve`] on models with a few
+//! hundred reactions, which the dense tableau handles comfortably.
+
+use crate::lp::{Constraint, Relation};
+use crate::{LinalgError, LinearProgram, LpSolution, LpStatus, Objective};
+
+/// Tuning options for the simplex solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimplexOptions {
+    /// Hard cap on the total number of pivots across both phases.
+    pub max_iterations: usize,
+    /// Numerical tolerance used for pricing, ratio tests and feasibility.
+    pub tolerance: f64,
+    /// Number of Dantzig pivots after which the solver switches to Bland's
+    /// rule to guarantee termination in the presence of degeneracy.
+    pub bland_threshold: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            max_iterations: 50_000,
+            tolerance: 1e-9,
+            bland_threshold: 5_000,
+        }
+    }
+}
+
+/// How each original variable maps onto the non-negative solver variables.
+#[derive(Debug, Clone, Copy)]
+enum VarMap {
+    /// `x = offset + y[col]`
+    Shifted { col: usize, offset: f64 },
+    /// `x = offset - y[col]` (used when only an upper bound is finite)
+    Mirrored { col: usize, offset: f64 },
+    /// `x = y[pos] - y[neg]` (free variable)
+    Split { pos: usize, neg: usize },
+    /// `x = value` (fixed variable, eliminated from the tableau)
+    Fixed { value: f64 },
+}
+
+struct Tableau {
+    /// Constraint rows, canonical with respect to the current basis.
+    rows: Vec<Vec<f64>>,
+    /// Right-hand side of each row (always kept non-negative at start).
+    rhs: Vec<f64>,
+    /// Basic variable (column index) of each row.
+    basis: Vec<usize>,
+    /// Total number of columns.
+    ncols: usize,
+    /// Columns that are artificial variables (banned in phase 2).
+    artificial: Vec<bool>,
+}
+
+/// Solves a [`LinearProgram`] with default [`SimplexOptions`].
+///
+/// # Errors
+///
+/// * [`LinalgError::Infeasible`] if no feasible point exists.
+/// * [`LinalgError::Unbounded`] if the objective is unbounded.
+/// * [`LinalgError::IterationLimit`] if the pivot cap is exceeded.
+pub fn solve(lp: &LinearProgram) -> crate::Result<LpSolution> {
+    solve_with_options(lp, &SimplexOptions::default())
+}
+
+/// Solves a [`LinearProgram`] with explicit [`SimplexOptions`].
+///
+/// # Errors
+///
+/// Same as [`solve`].
+pub fn solve_with_options(
+    lp: &LinearProgram,
+    options: &SimplexOptions,
+) -> crate::Result<LpSolution> {
+    let tol = options.tolerance;
+    if tol <= 0.0 || tol.is_nan() {
+        return Err(LinalgError::InvalidArgument(
+            "tolerance must be positive".into(),
+        ));
+    }
+
+    // ---- 1. Map original variables to non-negative solver variables. ----
+    let mut var_map = Vec::with_capacity(lp.num_vars());
+    let mut num_y = 0usize;
+    // (column, width) pairs that need an explicit upper-bound row `y <= width`.
+    let mut upper_rows: Vec<(usize, f64)> = Vec::new();
+    for bound in lp.bounds() {
+        let l = bound.lower;
+        let u = bound.upper;
+        if l.is_finite() && u.is_finite() && (u - l).abs() <= tol {
+            var_map.push(VarMap::Fixed { value: l });
+        } else if l.is_finite() {
+            let col = num_y;
+            num_y += 1;
+            if u.is_finite() {
+                upper_rows.push((col, u - l));
+            }
+            var_map.push(VarMap::Shifted { col, offset: l });
+        } else if u.is_finite() {
+            let col = num_y;
+            num_y += 1;
+            var_map.push(VarMap::Mirrored { col, offset: u });
+        } else {
+            let pos = num_y;
+            let neg = num_y + 1;
+            num_y += 2;
+            var_map.push(VarMap::Split { pos, neg });
+        }
+    }
+
+    // ---- 2. Transform constraints into rows over the y variables. ----
+    // Each row: (dense coefficients over y, relation, rhs)
+    let mut raw_rows: Vec<(Vec<f64>, Relation, f64)> = Vec::new();
+    for Constraint {
+        coefficients,
+        relation,
+        rhs,
+    } in lp.constraints()
+    {
+        let mut row = vec![0.0; num_y];
+        let mut b = *rhs;
+        for &(var, coeff) in coefficients {
+            match var_map[var] {
+                VarMap::Shifted { col, offset } => {
+                    row[col] += coeff;
+                    b -= coeff * offset;
+                }
+                VarMap::Mirrored { col, offset } => {
+                    row[col] -= coeff;
+                    b -= coeff * offset;
+                }
+                VarMap::Split { pos, neg } => {
+                    row[pos] += coeff;
+                    row[neg] -= coeff;
+                }
+                VarMap::Fixed { value } => {
+                    b -= coeff * value;
+                }
+            }
+        }
+        raw_rows.push((row, *relation, b));
+    }
+    for (col, width) in upper_rows {
+        let mut row = vec![0.0; num_y];
+        row[col] = 1.0;
+        raw_rows.push((row, Relation::LessEq, width));
+    }
+
+    // ---- 3. Transform the objective. ----
+    let sense = match lp.objective() {
+        Objective::Minimize => 1.0,
+        Objective::Maximize => -1.0,
+    };
+    let mut cost = vec![0.0; num_y];
+    let mut cost_constant = 0.0;
+    for (var, &c) in lp.objective_coefficients().iter().enumerate() {
+        if c == 0.0 {
+            continue;
+        }
+        let c = c * sense;
+        match var_map[var] {
+            VarMap::Shifted { col, offset } => {
+                cost[col] += c;
+                cost_constant += c * offset;
+            }
+            VarMap::Mirrored { col, offset } => {
+                cost[col] -= c;
+                cost_constant += c * offset;
+            }
+            VarMap::Split { pos, neg } => {
+                cost[pos] += c;
+                cost[neg] -= c;
+            }
+            VarMap::Fixed { value } => {
+                cost_constant += c * value;
+            }
+        }
+    }
+
+    // ---- 4. Build the standard-form tableau with slack/artificial columns. ----
+    let m = raw_rows.len();
+    // Count extra columns: one slack/surplus per inequality, one artificial per
+    // >= or = row (after sign normalization).
+    let mut tableau = build_tableau(&raw_rows, num_y, tol);
+    let ncols = tableau.ncols;
+
+    // ---- 5. Phase 1: minimize the sum of artificial variables. ----
+    let mut iterations = 0usize;
+    let any_artificial = tableau.artificial.iter().any(|&a| a);
+    if any_artificial {
+        let phase1_cost: Vec<f64> = (0..ncols)
+            .map(|j| if tableau.artificial[j] { 1.0 } else { 0.0 })
+            .collect();
+        let no_ban = vec![false; ncols];
+        let phase1_value =
+            run_phase(&mut tableau, &phase1_cost, &no_ban, options, &mut iterations)?;
+        if phase1_value > 1e-6 {
+            return Err(LinalgError::Infeasible);
+        }
+        drive_out_artificials(&mut tableau, tol);
+    }
+
+    // ---- 6. Phase 2: minimize the real objective. ----
+    let mut phase2_cost = vec![0.0; ncols];
+    phase2_cost[..num_y].copy_from_slice(&cost[..num_y]);
+    // Artificial columns must never re-enter the basis.
+    for j in 0..ncols {
+        if tableau.artificial[j] {
+            phase2_cost[j] = 0.0;
+        }
+    }
+    let banned = tableau.artificial.clone();
+    run_phase(&mut tableau, &phase2_cost, &banned, options, &mut iterations)?;
+
+    // ---- 7. Read the solution back in the original variable space. ----
+    let mut y = vec![0.0; ncols];
+    for (i, &b) in tableau.basis.iter().enumerate() {
+        y[b] = tableau.rhs[i];
+    }
+    let mut x = vec![0.0; lp.num_vars()];
+    for (var, map) in var_map.iter().enumerate() {
+        x[var] = match *map {
+            VarMap::Shifted { col, offset } => offset + y[col],
+            VarMap::Mirrored { col, offset } => offset - y[col],
+            VarMap::Split { pos, neg } => y[pos] - y[neg],
+            VarMap::Fixed { value } => value,
+        };
+    }
+    let objective_value: f64 = lp
+        .objective_coefficients()
+        .iter()
+        .zip(x.iter())
+        .map(|(c, v)| c * v)
+        .sum();
+    let _ = cost_constant; // objective recomputed directly from x
+    let _ = m;
+
+    Ok(LpSolution {
+        status: LpStatus::Optimal,
+        objective_value,
+        variables: x,
+        iterations,
+    })
+}
+
+fn build_tableau(raw_rows: &[(Vec<f64>, Relation, f64)], num_y: usize, tol: f64) -> Tableau {
+    let m = raw_rows.len();
+    // First pass: figure out how many slack and artificial columns are needed.
+    let mut num_slack = 0usize;
+    let mut num_art = 0usize;
+    let mut normalized: Vec<(Vec<f64>, Relation, f64)> = Vec::with_capacity(m);
+    for (row, rel, b) in raw_rows {
+        let (row, rel, b) = if *b < 0.0 {
+            let flipped: Vec<f64> = row.iter().map(|v| -v).collect();
+            let rel = match rel {
+                Relation::LessEq => Relation::GreaterEq,
+                Relation::GreaterEq => Relation::LessEq,
+                Relation::Equal => Relation::Equal,
+            };
+            (flipped, rel, -b)
+        } else {
+            (row.clone(), *rel, *b)
+        };
+        match rel {
+            Relation::LessEq => num_slack += 1,
+            Relation::GreaterEq => {
+                num_slack += 1;
+                num_art += 1;
+            }
+            Relation::Equal => num_art += 1,
+        }
+        normalized.push((row, rel, b));
+    }
+
+    let ncols = num_y + num_slack + num_art;
+    let mut rows = vec![vec![0.0; ncols]; m];
+    let mut rhs = vec![0.0; m];
+    let mut basis = vec![0usize; m];
+    let mut artificial = vec![false; ncols];
+
+    let mut slack_cursor = num_y;
+    let mut art_cursor = num_y + num_slack;
+    for (i, (row, rel, b)) in normalized.into_iter().enumerate() {
+        rows[i][..num_y].copy_from_slice(&row[..num_y]);
+        rhs[i] = b;
+        match rel {
+            Relation::LessEq => {
+                rows[i][slack_cursor] = 1.0;
+                basis[i] = slack_cursor;
+                slack_cursor += 1;
+            }
+            Relation::GreaterEq => {
+                rows[i][slack_cursor] = -1.0;
+                slack_cursor += 1;
+                rows[i][art_cursor] = 1.0;
+                artificial[art_cursor] = true;
+                basis[i] = art_cursor;
+                art_cursor += 1;
+            }
+            Relation::Equal => {
+                rows[i][art_cursor] = 1.0;
+                artificial[art_cursor] = true;
+                basis[i] = art_cursor;
+                art_cursor += 1;
+            }
+        }
+        // Guard against rows that are numerically zero but have tiny rhs noise.
+        if rhs[i] < tol {
+            rhs[i] = rhs[i].max(0.0);
+        }
+    }
+
+    Tableau {
+        rows,
+        rhs,
+        basis,
+        ncols,
+        artificial,
+    }
+}
+
+/// Runs simplex iterations minimizing `cost` over the current tableau, and
+/// returns the achieved objective value (in the minimized sense).
+fn run_phase(
+    tableau: &mut Tableau,
+    cost: &[f64],
+    banned: &[bool],
+    options: &SimplexOptions,
+    iterations: &mut usize,
+) -> crate::Result<f64> {
+    let tol = options.tolerance;
+    let m = tableau.rows.len();
+    let ncols = tableau.ncols;
+
+    // Reduced cost row: z_j = cost_j - sum_i cost[basis_i] * T[i][j]
+    let mut reduced = cost.to_vec();
+    let mut objective = 0.0;
+    for i in 0..m {
+        let cb = cost[tableau.basis[i]];
+        if cb != 0.0 {
+            for j in 0..ncols {
+                reduced[j] -= cb * tableau.rows[i][j];
+            }
+            objective += cb * tableau.rhs[i];
+        }
+    }
+
+    let mut local_iter = 0usize;
+    loop {
+        if *iterations >= options.max_iterations {
+            return Err(LinalgError::IterationLimit {
+                iterations: *iterations,
+            });
+        }
+        // --- entering variable ---
+        let use_bland = local_iter > options.bland_threshold;
+        let mut entering: Option<usize> = None;
+        if use_bland {
+            for (j, &rc) in reduced.iter().enumerate() {
+                if !banned[j] && rc < -tol {
+                    entering = Some(j);
+                    break;
+                }
+            }
+        } else {
+            let mut best = -tol;
+            for (j, &rc) in reduced.iter().enumerate() {
+                if !banned[j] && rc < best {
+                    best = rc;
+                    entering = Some(j);
+                }
+            }
+        }
+        let Some(enter) = entering else {
+            return Ok(objective);
+        };
+
+        // --- ratio test (leaving variable) ---
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            let a = tableau.rows[i][enter];
+            if a > tol {
+                let ratio = tableau.rhs[i] / a;
+                let better = ratio < best_ratio - tol
+                    || ((ratio - best_ratio).abs() <= tol
+                        && leave.map(|l| tableau.basis[i] < tableau.basis[l]).unwrap_or(true));
+                if better {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(leave) = leave else {
+            return Err(LinalgError::Unbounded);
+        };
+
+        // --- pivot ---
+        pivot(tableau, &mut reduced, &mut objective, leave, enter);
+        *iterations += 1;
+        local_iter += 1;
+    }
+}
+
+fn pivot(
+    tableau: &mut Tableau,
+    reduced: &mut [f64],
+    objective: &mut f64,
+    pivot_row: usize,
+    pivot_col: usize,
+) {
+    let ncols = tableau.ncols;
+    let pivot_val = tableau.rows[pivot_row][pivot_col];
+    // Normalize the pivot row.
+    for j in 0..ncols {
+        tableau.rows[pivot_row][j] /= pivot_val;
+    }
+    tableau.rhs[pivot_row] /= pivot_val;
+
+    // Eliminate the pivot column from every other row.
+    for i in 0..tableau.rows.len() {
+        if i == pivot_row {
+            continue;
+        }
+        let factor = tableau.rows[i][pivot_col];
+        if factor != 0.0 {
+            for j in 0..ncols {
+                tableau.rows[i][j] -= factor * tableau.rows[pivot_row][j];
+            }
+            tableau.rhs[i] -= factor * tableau.rhs[pivot_row];
+            if tableau.rhs[i].abs() < 1e-12 {
+                tableau.rhs[i] = 0.0;
+            }
+        }
+    }
+    // ... and from the reduced-cost row.
+    let factor = reduced[pivot_col];
+    if factor != 0.0 {
+        for j in 0..ncols {
+            reduced[j] -= factor * tableau.rows[pivot_row][j];
+        }
+        // The phase objective changes by (reduced cost of the entering column)
+        // times the step length, which is the normalized pivot-row rhs.
+        *objective += factor * tableau.rhs[pivot_row];
+    }
+    tableau.basis[pivot_row] = pivot_col;
+}
+
+/// After phase 1, pivot any artificial variable that is still basic (at value
+/// zero) out of the basis if possible. Rows where that is impossible are
+/// redundant and are left in place with the artificial pinned at zero.
+fn drive_out_artificials(tableau: &mut Tableau, tol: f64) {
+    let m = tableau.rows.len();
+    for i in 0..m {
+        let b = tableau.basis[i];
+        if !tableau.artificial[b] {
+            continue;
+        }
+        // Find a non-artificial column with a nonzero coefficient in this row.
+        let mut target = None;
+        for j in 0..tableau.ncols {
+            if !tableau.artificial[j] && tableau.rows[i][j].abs() > tol {
+                target = Some(j);
+                break;
+            }
+        }
+        if let Some(j) = target {
+            let mut dummy_reduced = vec![0.0; tableau.ncols];
+            let mut dummy_obj = 0.0;
+            pivot(tableau, &mut dummy_reduced, &mut dummy_obj, i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Bound;
+
+    fn max_lp(obj: &[f64]) -> LinearProgram {
+        let mut lp = LinearProgram::new(obj.len(), Objective::Maximize);
+        for (i, &c) in obj.iter().enumerate() {
+            lp.set_objective_coefficient(i, c).unwrap();
+        }
+        lp
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // maximize 3x + 2y  s.t.  x + y <= 4, x + 3y <= 6
+        let mut lp = max_lp(&[3.0, 2.0]);
+        lp.add_less_eq(&[(0, 1.0), (1, 1.0)], 4.0).unwrap();
+        lp.add_less_eq(&[(0, 1.0), (1, 3.0)], 6.0).unwrap();
+        let sol = solve(&lp).unwrap();
+        assert!((sol.objective_value - 12.0).abs() < 1e-8);
+        assert!((sol.variables[0] - 4.0).abs() < 1e-8);
+        assert!(sol.variables[1].abs() < 1e-8);
+    }
+
+    #[test]
+    fn minimization_with_greater_eq() {
+        // minimize 2x + 3y  s.t.  x + y >= 10, x >= 2, y >= 3
+        let mut lp = LinearProgram::new(2, Objective::Minimize);
+        lp.set_objective_coefficient(0, 2.0).unwrap();
+        lp.set_objective_coefficient(1, 3.0).unwrap();
+        lp.add_greater_eq(&[(0, 1.0), (1, 1.0)], 10.0).unwrap();
+        lp.set_bound(0, Bound::interval(2.0, f64::INFINITY)).unwrap();
+        lp.set_bound(1, Bound::interval(3.0, f64::INFINITY)).unwrap();
+        let sol = solve(&lp).unwrap();
+        // Optimal: push the cheap variable x as high as needed: x = 7, y = 3.
+        assert!((sol.objective_value - 23.0).abs() < 1e-8);
+        assert!((sol.variables[0] - 7.0).abs() < 1e-8);
+        assert!((sol.variables[1] - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // maximize x + y  s.t.  x + y = 5,  x - y = 1
+        let mut lp = max_lp(&[1.0, 1.0]);
+        lp.add_equal(&[(0, 1.0), (1, 1.0)], 5.0).unwrap();
+        lp.add_equal(&[(0, 1.0), (1, -1.0)], 1.0).unwrap();
+        let sol = solve(&lp).unwrap();
+        assert!((sol.variables[0] - 3.0).abs() < 1e-8);
+        assert!((sol.variables[1] - 2.0).abs() < 1e-8);
+        assert!((sol.objective_value - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn infeasible_program_is_detected() {
+        let mut lp = max_lp(&[1.0]);
+        lp.add_less_eq(&[(0, 1.0)], 1.0).unwrap();
+        lp.add_greater_eq(&[(0, 1.0)], 2.0).unwrap();
+        assert!(matches!(solve(&lp), Err(LinalgError::Infeasible)));
+    }
+
+    #[test]
+    fn unbounded_program_is_detected() {
+        let mut lp = max_lp(&[1.0]);
+        lp.add_greater_eq(&[(0, 1.0)], 1.0).unwrap();
+        assert!(matches!(solve(&lp), Err(LinalgError::Unbounded)));
+    }
+
+    #[test]
+    fn negative_lower_bounds_are_handled() {
+        // minimize x subject to x >= -5 (bound), x <= 3
+        let mut lp = LinearProgram::new(1, Objective::Minimize);
+        lp.set_objective_coefficient(0, 1.0).unwrap();
+        lp.set_bound(0, Bound::interval(-5.0, 3.0)).unwrap();
+        let sol = solve(&lp).unwrap();
+        assert!((sol.variables[0] + 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn free_variables_are_split() {
+        // minimize x + y with x free, y >= 0 and x + y >= 2, x >= -3 via constraint
+        let mut lp = LinearProgram::new(2, Objective::Minimize);
+        lp.set_objective_coefficient(0, 1.0).unwrap();
+        lp.set_objective_coefficient(1, 1.0).unwrap();
+        lp.set_bound(0, Bound::free()).unwrap();
+        lp.add_greater_eq(&[(0, 1.0), (1, 1.0)], 2.0).unwrap();
+        lp.add_greater_eq(&[(0, 1.0)], -3.0).unwrap();
+        let sol = solve(&lp).unwrap();
+        // The optimum is any point on x + y = 2 with x >= -3; the objective is 2.
+        assert!((sol.objective_value - 2.0).abs() < 1e-7);
+        assert!(sol.variables[0] + sol.variables[1] >= 2.0 - 1e-7);
+        assert!(sol.variables[0] >= -3.0 - 1e-7);
+        assert!(sol.variables[1] >= -1e-9);
+    }
+
+    #[test]
+    fn fixed_variables_are_respected() {
+        // ATP-maintenance style pinned flux.
+        let mut lp = LinearProgram::new(2, Objective::Maximize);
+        lp.set_objective_coefficient(1, 1.0).unwrap();
+        lp.set_bound(0, Bound::fixed(0.45)).unwrap();
+        lp.set_bound(1, Bound::interval(0.0, 10.0)).unwrap();
+        lp.add_less_eq(&[(0, 1.0), (1, 1.0)], 5.0).unwrap();
+        let sol = solve(&lp).unwrap();
+        assert!((sol.variables[0] - 0.45).abs() < 1e-9);
+        assert!((sol.variables[1] - 4.55).abs() < 1e-7);
+    }
+
+    #[test]
+    fn upper_bounds_limit_the_solution() {
+        let mut lp = max_lp(&[1.0, 1.0]);
+        lp.set_bound(0, Bound::interval(0.0, 2.0)).unwrap();
+        lp.set_bound(1, Bound::interval(0.0, 3.0)).unwrap();
+        lp.add_less_eq(&[(0, 1.0), (1, 1.0)], 100.0).unwrap();
+        let sol = solve(&lp).unwrap();
+        assert!((sol.objective_value - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let mut lp = max_lp(&[1.0, 1.0]);
+        lp.add_less_eq(&[(0, 1.0)], 1.0).unwrap();
+        lp.add_less_eq(&[(1, 1.0)], 1.0).unwrap();
+        lp.add_less_eq(&[(0, 1.0), (1, 1.0)], 2.0).unwrap();
+        lp.add_less_eq(&[(0, 2.0), (1, 2.0)], 4.0).unwrap();
+        let sol = solve(&lp).unwrap();
+        assert!((sol.objective_value - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn iteration_limit_is_enforced() {
+        let mut lp = max_lp(&[3.0, 2.0]);
+        lp.add_less_eq(&[(0, 1.0), (1, 1.0)], 4.0).unwrap();
+        let options = SimplexOptions {
+            max_iterations: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            solve_with_options(&lp, &options),
+            Err(LinalgError::IterationLimit { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_tolerance_is_rejected() {
+        let lp = max_lp(&[1.0]);
+        let options = SimplexOptions {
+            tolerance: -1.0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            solve_with_options(&lp, &options),
+            Err(LinalgError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn mirrored_variable_only_upper_bound() {
+        // minimize -x with x <= 7 and no lower bound, but a constraint x >= 1.
+        let mut lp = LinearProgram::new(1, Objective::Minimize);
+        lp.set_objective_coefficient(0, -1.0).unwrap();
+        lp.set_bound(
+            0,
+            Bound {
+                lower: f64::NEG_INFINITY,
+                upper: 7.0,
+            },
+        )
+        .unwrap();
+        lp.add_greater_eq(&[(0, 1.0)], 1.0).unwrap();
+        let sol = solve(&lp).unwrap();
+        assert!((sol.variables[0] - 7.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn larger_random_feasible_problem_is_solved() {
+        // A transportation-like LP with 12 variables; checks that the solver
+        // copes with a few dozen rows without hitting the iteration cap.
+        let supplies = [20.0, 30.0, 25.0];
+        let demands = [15.0, 25.0, 20.0, 15.0];
+        let costs = [
+            4.0, 8.0, 8.0, 6.0, //
+            6.0, 2.0, 4.0, 7.0, //
+            5.0, 3.0, 6.0, 2.0,
+        ];
+        let n = supplies.len() * demands.len();
+        let mut lp = LinearProgram::new(n, Objective::Minimize);
+        for (k, &c) in costs.iter().enumerate() {
+            lp.set_objective_coefficient(k, c).unwrap();
+        }
+        for (i, &s) in supplies.iter().enumerate() {
+            let row: Vec<(usize, f64)> =
+                (0..demands.len()).map(|j| (i * demands.len() + j, 1.0)).collect();
+            lp.add_less_eq(&row, s).unwrap();
+        }
+        for (j, &d) in demands.iter().enumerate() {
+            let col: Vec<(usize, f64)> =
+                (0..supplies.len()).map(|i| (i * demands.len() + j, 1.0)).collect();
+            lp.add_greater_eq(&col, d).unwrap();
+        }
+        let sol = solve(&lp).unwrap();
+        // Feasibility of the reported plan.
+        for (i, &s) in supplies.iter().enumerate() {
+            let shipped: f64 = (0..demands.len())
+                .map(|j| sol.variables[i * demands.len() + j])
+                .sum();
+            assert!(shipped <= s + 1e-6);
+        }
+        for (j, &d) in demands.iter().enumerate() {
+            let received: f64 = (0..supplies.len())
+                .map(|i| sol.variables[i * demands.len() + j])
+                .sum();
+            assert!(received >= d - 1e-6);
+        }
+        // Known optimum of this classic instance.
+        assert!(sol.objective_value <= 275.0 + 1e-6);
+    }
+}

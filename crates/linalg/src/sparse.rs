@@ -1,0 +1,278 @@
+use crate::{LinalgError, Matrix, Vector};
+
+/// A compressed sparse row (CSR) matrix.
+///
+/// Stoichiometric matrices of genome-scale metabolic models are very sparse
+/// (a reaction touches a handful of metabolites out of hundreds), so the FBA
+/// machinery stores them in CSR form and only densifies the small submatrices
+/// the simplex solver needs.
+///
+/// # Example
+///
+/// ```
+/// use pathway_linalg::{CsrMatrix, Vector};
+///
+/// # fn main() -> Result<(), pathway_linalg::LinalgError> {
+/// // [ 1 0 2 ]
+/// // [ 0 3 0 ]
+/// let m = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)])?;
+/// let y = m.mat_vec(&Vector::from(vec![1.0, 1.0, 1.0]))?;
+/// assert_eq!(y.as_slice(), &[3.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// `row_ptr[r]..row_ptr[r+1]` indexes the entries of row `r`.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from `(row, col, value)` triplets.
+    ///
+    /// Duplicate entries for the same `(row, col)` pair are summed. Explicit
+    /// zeros are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::IndexOutOfBounds`] if any triplet lies outside
+    /// the declared shape.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> crate::Result<Self> {
+        for &(r, c, _) in triplets {
+            if r >= rows {
+                return Err(LinalgError::IndexOutOfBounds { index: r, len: rows });
+            }
+            if c >= cols {
+                return Err(LinalgError::IndexOutOfBounds { index: c, len: cols });
+            }
+        }
+        // Accumulate into per-row maps to merge duplicates deterministically.
+        let mut per_row: Vec<std::collections::BTreeMap<usize, f64>> =
+            vec![std::collections::BTreeMap::new(); rows];
+        for &(r, c, v) in triplets {
+            *per_row[r].entry(c).or_insert(0.0) += v;
+        }
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for row in &per_row {
+            for (&c, &v) in row {
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fill fraction: `nnz / (rows * cols)`. Returns `0.0` for an empty shape.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// Value at `(row, col)`, or `0.0` if the entry is not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        let start = self.row_ptr[row];
+        let end = self.row_ptr[row + 1];
+        for k in start..end {
+            if self.col_idx[k] == col {
+                return self.values[k];
+            }
+        }
+        0.0
+    }
+
+    /// Iterates over the stored entries of one row as `(col, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn row_entries(&self, row: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(row < self.rows, "row out of bounds");
+        let start = self.row_ptr[row];
+        let end = self.row_ptr[row + 1];
+        (start..end).map(move |k| (self.col_idx[k], self.values[k]))
+    }
+
+    /// Sparse matrix-vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `v.len() != self.cols()`.
+    pub fn mat_vec(&self, v: &Vector) -> crate::Result<Vector> {
+        if v.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("len {}", self.cols),
+                found: format!("len {}", v.len()),
+            });
+        }
+        let mut out = Vector::zeros(self.rows);
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[k] * v[self.col_idx[k]];
+            }
+            out[r] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Converts to a dense [`Matrix`]. Intended for small matrices and tests.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                m[(r, self.col_idx[k])] = self.values[k];
+            }
+        }
+        m
+    }
+}
+
+impl From<&Matrix> for CsrMatrix {
+    fn from(dense: &Matrix) -> Self {
+        let mut triplets = Vec::new();
+        for r in 0..dense.rows() {
+            for c in 0..dense.cols() {
+                let v = dense[(r, c)];
+                if v != 0.0 {
+                    triplets.push((r, c, v));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(dense.rows(), dense.cols(), &triplets)
+            .expect("triplets derived from a dense matrix are always in bounds")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_triplets_and_get() {
+        let m =
+            CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 1), 3.0);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn duplicates_are_summed_and_zeros_dropped() {
+        let m = CsrMatrix::from_triplets(1, 2, &[(0, 0, 1.0), (0, 0, 2.0), (0, 1, 0.0)]).unwrap();
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn out_of_bounds_triplet_is_rejected() {
+        assert!(CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(2, 2, &[(0, 5, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn mat_vec_matches_dense() {
+        let dense = Matrix::from_rows(&[
+            vec![1.0, 0.0, 2.0],
+            vec![0.0, 0.0, 0.0],
+            vec![-1.0, 4.0, 0.5],
+        ])
+        .unwrap();
+        let sparse = CsrMatrix::from(&dense);
+        let v = Vector::from(vec![1.0, 2.0, 3.0]);
+        assert_eq!(sparse.mat_vec(&v).unwrap(), dense.mat_vec(&v).unwrap());
+    }
+
+    #[test]
+    fn mat_vec_dimension_check() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]).unwrap();
+        assert!(m.mat_vec(&Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn to_dense_round_trip() {
+        let dense = Matrix::from_rows(&[vec![0.0, 5.0], vec![7.0, 0.0]]).unwrap();
+        let sparse = CsrMatrix::from(&dense);
+        assert_eq!(sparse.to_dense(), dense);
+    }
+
+    #[test]
+    fn density_and_row_entries() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)]).unwrap();
+        assert!((m.density() - 0.5).abs() < 1e-15);
+        let entries: Vec<_> = m.row_entries(0).collect();
+        assert_eq!(entries, vec![(0, 1.0)]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sparse_matvec_agrees_with_dense(
+            rows in 1usize..8,
+            cols in 1usize..8,
+            seed in 0u64..200,
+        ) {
+            let mut dense = Matrix::zeros(rows, cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    // Roughly 40% fill with deterministic pseudo-random values.
+                    let h = (r * 131 + c * 37) as u64 + seed * 101;
+                    if h % 5 < 2 {
+                        dense[(r, c)] = (h % 100) as f64 / 10.0 - 5.0;
+                    }
+                }
+            }
+            let sparse = CsrMatrix::from(&dense);
+            let v: Vector = (0..cols).map(|i| i as f64 * 0.5 - 1.0).collect();
+            let ds = dense.mat_vec(&v).unwrap();
+            let ss = sparse.mat_vec(&v).unwrap();
+            for i in 0..rows {
+                prop_assert!((ds[i] - ss[i]).abs() < 1e-10);
+            }
+        }
+    }
+}

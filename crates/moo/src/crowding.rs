@@ -1,0 +1,115 @@
+use crate::Individual;
+
+/// Assigns the NSGA-II crowding distance to every individual of one front.
+///
+/// `front` holds indices into `individuals`. Boundary solutions of each
+/// objective receive an infinite distance so they are always preserved; the
+/// others receive the normalized side length of the cuboid formed by their
+/// nearest neighbours along each objective.
+pub fn assign_crowding_distance(individuals: &mut [Individual], front: &[usize]) {
+    if front.is_empty() {
+        return;
+    }
+    for &i in front {
+        individuals[i].crowding = 0.0;
+    }
+    if front.len() <= 2 {
+        for &i in front {
+            individuals[i].crowding = f64::INFINITY;
+        }
+        return;
+    }
+    let num_objectives = individuals[front[0]].objectives.len();
+    for m in 0..num_objectives {
+        let mut sorted: Vec<usize> = front.to_vec();
+        sorted.sort_by(|&a, &b| {
+            individuals[a].objectives[m]
+                .partial_cmp(&individuals[b].objectives[m])
+                .expect("objective values must not be NaN")
+        });
+        let min = individuals[sorted[0]].objectives[m];
+        let max = individuals[*sorted.last().expect("front is non-empty")].objectives[m];
+        let range = (max - min).max(f64::EPSILON);
+
+        individuals[sorted[0]].crowding = f64::INFINITY;
+        individuals[*sorted.last().expect("front is non-empty")].crowding = f64::INFINITY;
+        for w in 1..sorted.len() - 1 {
+            let previous = individuals[sorted[w - 1]].objectives[m];
+            let next = individuals[sorted[w + 1]].objectives[m];
+            if individuals[sorted[w]].crowding.is_finite() {
+                individuals[sorted[w]].crowding += (next - previous) / range;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn individual(objectives: Vec<f64>) -> Individual {
+        Individual {
+            variables: vec![],
+            objectives,
+            violation: 0.0,
+            rank: 0,
+            crowding: 0.0,
+        }
+    }
+
+    #[test]
+    fn boundary_points_get_infinite_distance() {
+        let mut individuals = vec![
+            individual(vec![0.0, 10.0]),
+            individual(vec![5.0, 5.0]),
+            individual(vec![10.0, 0.0]),
+        ];
+        let front = vec![0, 1, 2];
+        assign_crowding_distance(&mut individuals, &front);
+        assert!(individuals[0].crowding.is_infinite());
+        assert!(individuals[2].crowding.is_infinite());
+        assert!(individuals[1].crowding.is_finite());
+        assert!(individuals[1].crowding > 0.0);
+    }
+
+    #[test]
+    fn crowded_points_score_lower_than_isolated_ones() {
+        // Points at f1 = 0, 1, 1.1, 5, 10 on a line f2 = -f1.
+        let mut individuals = vec![
+            individual(vec![0.0, 0.0]),
+            individual(vec![1.0, -1.0]),
+            individual(vec![1.1, -1.1]),
+            individual(vec![5.0, -5.0]),
+            individual(vec![10.0, -10.0]),
+        ];
+        let front = vec![0, 1, 2, 3, 4];
+        assign_crowding_distance(&mut individuals, &front);
+        // Index 2 is crowded between 1 and 5; index 3 is isolated.
+        assert!(individuals[3].crowding > individuals[2].crowding);
+    }
+
+    #[test]
+    fn tiny_fronts_are_all_boundary() {
+        let mut individuals = vec![individual(vec![1.0, 2.0]), individual(vec![2.0, 1.0])];
+        assign_crowding_distance(&mut individuals, &[0, 1]);
+        assert!(individuals[0].crowding.is_infinite());
+        assert!(individuals[1].crowding.is_infinite());
+    }
+
+    #[test]
+    fn empty_front_is_a_noop() {
+        let mut individuals: Vec<Individual> = vec![];
+        assign_crowding_distance(&mut individuals, &[]);
+    }
+
+    #[test]
+    fn degenerate_objective_range_does_not_blow_up() {
+        let mut individuals = vec![
+            individual(vec![1.0, 3.0]),
+            individual(vec![1.0, 2.0]),
+            individual(vec![1.0, 1.0]),
+        ];
+        assign_crowding_distance(&mut individuals, &[0, 1, 2]);
+        assert!(individuals.iter().all(|i| !i.crowding.is_nan()));
+    }
+}

@@ -1,0 +1,213 @@
+use crate::Individual;
+
+/// Returns `true` if objective vector `a` Pareto-dominates `b`: `a` is no
+/// worse in every objective and strictly better in at least one (all
+/// objectives minimized).
+///
+/// # Panics
+///
+/// Panics if the two vectors have different lengths.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective vectors must have the same length");
+    let mut strictly_better = false;
+    for (&ai, &bi) in a.iter().zip(b.iter()) {
+        if ai > bi {
+            return false;
+        }
+        if ai < bi {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Constrained domination (Deb's rules): a feasible solution dominates an
+/// infeasible one; between two infeasible solutions the one with the smaller
+/// violation dominates; between two feasible solutions plain Pareto dominance
+/// applies.
+pub fn constrained_dominates(a: &Individual, b: &Individual) -> bool {
+    let a_feasible = a.is_feasible();
+    let b_feasible = b.is_feasible();
+    match (a_feasible, b_feasible) {
+        (true, false) => true,
+        (false, true) => false,
+        (false, false) => a.violation < b.violation,
+        (true, true) => dominates(&a.objectives, &b.objectives),
+    }
+}
+
+/// Fast non-dominated sort (Deb et al. 2002).
+///
+/// Assigns `rank` to every individual in place and returns the fronts as
+/// vectors of indices, best front first. Uses constrained domination so
+/// infeasible solutions sink to later fronts.
+pub fn fast_nondominated_sort(individuals: &mut [Individual]) -> Vec<Vec<usize>> {
+    let n = individuals.len();
+    let mut domination_count = vec![0usize; n];
+    let mut dominated_sets: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut first_front: Vec<usize> = Vec::new();
+
+    for p in 0..n {
+        for q in 0..n {
+            if p == q {
+                continue;
+            }
+            if constrained_dominates(&individuals[p], &individuals[q]) {
+                dominated_sets[p].push(q);
+            } else if constrained_dominates(&individuals[q], &individuals[p]) {
+                domination_count[p] += 1;
+            }
+        }
+        if domination_count[p] == 0 {
+            individuals[p].rank = 0;
+            first_front.push(p);
+        }
+    }
+
+    let mut current = first_front;
+    let mut rank = 0;
+    while !current.is_empty() {
+        fronts.push(current.clone());
+        let mut next = Vec::new();
+        for &p in &current {
+            for &q in &dominated_sets[p] {
+                domination_count[q] -= 1;
+                if domination_count[q] == 0 {
+                    individuals[q].rank = rank + 1;
+                    next.push(q);
+                }
+            }
+        }
+        rank += 1;
+        current = next;
+    }
+    fronts
+}
+
+/// Extracts the non-dominated subset of a set of objective vectors
+/// (constrained domination is not considered; use this for plain fronts).
+pub fn nondominated_filter(points: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    points
+        .iter()
+        .filter(|candidate| !points.iter().any(|other| dominates(other, candidate)))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::{BinhKorn, Schaffer};
+
+    fn individual(objectives: Vec<f64>, violation: f64) -> Individual {
+        Individual {
+            variables: vec![],
+            objectives,
+            violation,
+            rank: usize::MAX,
+            crowding: 0.0,
+        }
+    }
+
+    #[test]
+    fn dominance_basic_cases() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0])); // trade-off
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0])); // equal
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn dominance_length_mismatch_panics() {
+        let _ = dominates(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn constrained_domination_prefers_feasible() {
+        let feasible = individual(vec![5.0, 5.0], 0.0);
+        let infeasible = individual(vec![0.0, 0.0], 1.0);
+        assert!(constrained_dominates(&feasible, &infeasible));
+        assert!(!constrained_dominates(&infeasible, &feasible));
+        let less_violating = individual(vec![9.0, 9.0], 0.5);
+        assert!(constrained_dominates(&less_violating, &infeasible));
+    }
+
+    #[test]
+    fn sort_separates_fronts() {
+        let mut individuals = vec![
+            individual(vec![1.0, 4.0], 0.0), // front 0
+            individual(vec![4.0, 1.0], 0.0), // front 0
+            individual(vec![2.0, 2.0], 0.0), // front 0
+            individual(vec![3.0, 5.0], 0.0), // dominated by #0 and #2
+            individual(vec![5.0, 5.0], 0.0), // dominated by everything
+        ];
+        let fronts = fast_nondominated_sort(&mut individuals);
+        assert_eq!(fronts[0].len(), 3);
+        assert!(fronts.len() >= 2);
+        assert_eq!(individuals[0].rank, 0);
+        assert_eq!(individuals[4].rank, fronts.len() - 1);
+    }
+
+    #[test]
+    fn sort_puts_infeasible_solutions_behind_feasible_ones() {
+        let mut individuals = vec![
+            individual(vec![10.0, 10.0], 0.0),
+            individual(vec![0.0, 0.0], 2.0),
+        ];
+        let fronts = fast_nondominated_sort(&mut individuals);
+        assert_eq!(fronts[0], vec![0]);
+        assert_eq!(fronts[1], vec![1]);
+    }
+
+    #[test]
+    fn every_individual_is_assigned_to_exactly_one_front() {
+        let mut individuals: Vec<Individual> = (0..40)
+            .map(|i| {
+                let x = -5.0 + (i as f64) * 0.25;
+                Individual::from_variables(&Schaffer, vec![x])
+            })
+            .collect();
+        let fronts = fast_nondominated_sort(&mut individuals);
+        let total: usize = fronts.iter().map(|f| f.len()).sum();
+        assert_eq!(total, individuals.len());
+        // Ranks are consistent with the front listing.
+        for (front_rank, front) in fronts.iter().enumerate() {
+            for &i in front {
+                assert_eq!(individuals[i].rank, front_rank);
+            }
+        }
+    }
+
+    #[test]
+    fn first_front_is_mutually_nondominating() {
+        let mut individuals: Vec<Individual> = (0..30)
+            .map(|i| {
+                let x = vec![(i as f64) / 6.0, 3.0 - (i as f64) / 10.0];
+                Individual::from_variables(&BinhKorn, x)
+            })
+            .collect();
+        let fronts = fast_nondominated_sort(&mut individuals);
+        for &a in &fronts[0] {
+            for &b in &fronts[0] {
+                if a != b {
+                    assert!(!constrained_dominates(&individuals[a], &individuals[b]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nondominated_filter_keeps_only_the_front() {
+        let points = vec![
+            vec![1.0, 4.0],
+            vec![2.0, 2.0],
+            vec![4.0, 1.0],
+            vec![3.0, 3.0], // dominated by [2,2]
+        ];
+        let front = nondominated_filter(&points);
+        assert_eq!(front.len(), 3);
+        assert!(!front.contains(&vec![3.0, 3.0]));
+    }
+}

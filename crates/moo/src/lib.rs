@@ -1,0 +1,66 @@
+//! Multi-objective optimization framework reproducing the algorithmic
+//! contribution of *Design of Robust Metabolic Pathways* (Umeton et al.,
+//! DAC 2011).
+//!
+//! The crate contains:
+//!
+//! * [`MultiObjectiveProblem`] — the problem trait (box-bounded decision
+//!   variables, any number of minimized objectives, optional constraint
+//!   violation).
+//! * [`Nsga2`] — the Non-dominated Sorting Genetic Algorithm II of Deb et al.,
+//!   the paper's island engine.
+//! * [`Moead`] — MOEA/D with Tchebycheff decomposition (Zhang & Li), the
+//!   paper's comparison baseline in Table 1.
+//! * [`Archipelago`] / [`Pmo2`] — the island model with periodic migration
+//!   that constitutes PMO2 (the paper's configuration: two NSGA-II islands,
+//!   all-to-all migration every 200 generations with probability 0.5).
+//! * [`metrics`] — the hypervolume indicator and the paper's global/relative
+//!   Pareto coverage metrics (Equations 1–2).
+//! * [`mining`] — trade-off selection strategies: ideal point, Pareto Relative
+//!   Minimum, closest-to-ideal and shadow minima (Section 2.2).
+//! * [`robustness`] — the robustness condition ρ and uptake yield Γ with
+//!   global and local Monte-Carlo ensembles (Section 2.3, Equations 3–4).
+//! * [`problems`] — standard synthetic benchmark problems (ZDT1, Schaffer,
+//!   a constrained variant) used by the test-suite and the benches.
+//!
+//! # Example
+//!
+//! ```
+//! use pathway_moo::{Nsga2, Nsga2Config, problems::Schaffer};
+//!
+//! let config = Nsga2Config { population_size: 40, generations: 50, ..Default::default() };
+//! let front = Nsga2::new(config, 42).run(&Schaffer);
+//! assert!(!front.is_empty());
+//! // Every solution on the Schaffer front has x in [0, 2].
+//! for individual in &front {
+//!     assert!(individual.variables[0] > -0.5 && individual.variables[0] < 2.5);
+//! }
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod archipelago;
+mod archive;
+mod crowding;
+mod dominance;
+mod individual;
+mod moead;
+mod nsga2;
+mod operators;
+mod problem;
+
+pub mod metrics;
+pub mod mining;
+pub mod problems;
+pub mod robustness;
+
+pub use archipelago::{Archipelago, ArchipelagoConfig, MigrationTopology, Pmo2};
+pub use archive::ParetoArchive;
+pub use crowding::assign_crowding_distance;
+pub use dominance::{constrained_dominates, dominates, fast_nondominated_sort};
+pub use individual::{Individual, Population};
+pub use moead::{Moead, MoeadConfig};
+pub use nsga2::{Nsga2, Nsga2Config};
+pub use operators::{polynomial_mutation, sbx_crossover, tournament_select};
+pub use problem::MultiObjectiveProblem;

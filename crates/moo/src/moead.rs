@@ -1,0 +1,295 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dominance::nondominated_filter;
+use crate::{polynomial_mutation, sbx_crossover, Individual, MultiObjectiveProblem};
+
+/// Configuration of a MOEA/D run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoeadConfig {
+    /// Number of sub-problems (weight vectors), which is also the population size.
+    pub population_size: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Neighbourhood size (number of closest weight vectors).
+    pub neighborhood_size: usize,
+    /// SBX distribution index.
+    pub eta_crossover: f64,
+    /// Polynomial mutation distribution index.
+    pub eta_mutation: f64,
+    /// Per-gene mutation probability; `None` uses `1/n`.
+    pub mutation_probability: Option<f64>,
+}
+
+impl Default for MoeadConfig {
+    fn default() -> Self {
+        MoeadConfig {
+            population_size: 100,
+            generations: 250,
+            neighborhood_size: 20,
+            eta_crossover: 15.0,
+            eta_mutation: 20.0,
+            mutation_probability: None,
+        }
+    }
+}
+
+/// MOEA/D: multi-objective evolutionary algorithm based on decomposition
+/// (Zhang & Li, 2007), with Tchebycheff aggregation.
+///
+/// This is the comparison baseline of the paper's Table 1. Only bi- and
+/// tri-objective problems are supported, which covers everything the paper
+/// evaluates.
+///
+/// # Example
+///
+/// ```
+/// use pathway_moo::{Moead, MoeadConfig, problems::Schaffer};
+///
+/// let config = MoeadConfig { population_size: 40, generations: 50, ..Default::default() };
+/// let front = Moead::new(config, 3).run(&Schaffer);
+/// assert!(!front.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Moead {
+    config: MoeadConfig,
+    rng: StdRng,
+}
+
+impl Moead {
+    /// Creates a solver with a deterministic seed.
+    pub fn new(config: MoeadConfig, seed: u64) -> Self {
+        Moead {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MoeadConfig {
+        &self.config
+    }
+
+    /// Uniformly spread weight vectors for 2 or 3 objectives.
+    fn weight_vectors(&self, num_objectives: usize) -> Vec<Vec<f64>> {
+        let n = self.config.population_size.max(2);
+        match num_objectives {
+            2 => (0..n)
+                .map(|i| {
+                    let w = i as f64 / (n - 1) as f64;
+                    vec![w, 1.0 - w]
+                })
+                .collect(),
+            3 => {
+                // Simplex-lattice design scaled to approximately n points.
+                let mut weights = Vec::new();
+                let h = ((2.0 * n as f64).sqrt() as usize).max(2);
+                for i in 0..=h {
+                    for j in 0..=(h - i) {
+                        let k = h - i - j;
+                        weights.push(vec![
+                            i as f64 / h as f64,
+                            j as f64 / h as f64,
+                            k as f64 / h as f64,
+                        ]);
+                    }
+                }
+                weights
+            }
+            m => panic!("MOEA/D weight generation supports 2 or 3 objectives, got {m}"),
+        }
+    }
+
+    fn tchebycheff(objectives: &[f64], weight: &[f64], ideal: &[f64]) -> f64 {
+        objectives
+            .iter()
+            .zip(weight.iter())
+            .zip(ideal.iter())
+            .map(|((&f, &w), &z)| w.max(1e-6) * (f - z).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Runs the algorithm and returns the non-dominated subset of the final
+    /// population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the problem has more than three objectives.
+    pub fn run<P: MultiObjectiveProblem>(&mut self, problem: &P) -> Vec<Individual> {
+        let weights = self.weight_vectors(problem.num_objectives());
+        let n = weights.len();
+        let bounds = problem.bounds();
+        let mutation_probability = self
+            .config
+            .mutation_probability
+            .unwrap_or(1.0 / problem.num_variables() as f64);
+
+        // Neighbourhoods: indices of the T closest weight vectors.
+        let t = self.config.neighborhood_size.min(n);
+        let mut neighborhoods: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                let da: f64 = weights[i]
+                    .iter()
+                    .zip(&weights[a])
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum();
+                let db: f64 = weights[i]
+                    .iter()
+                    .zip(&weights[b])
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum();
+                da.partial_cmp(&db).expect("distances are finite")
+            });
+            neighborhoods.push(order.into_iter().take(t).collect());
+        }
+
+        // Initial population, one individual per sub-problem.
+        let mut population: Vec<Individual> = (0..n)
+            .map(|_| Individual::random(problem, &mut self.rng))
+            .collect();
+        let mut ideal: Vec<f64> = vec![f64::INFINITY; problem.num_objectives()];
+        for individual in &population {
+            for (z, &f) in ideal.iter_mut().zip(&individual.objectives) {
+                *z = z.min(f);
+            }
+        }
+
+        for _ in 0..self.config.generations {
+            for i in 0..n {
+                // Pick two parents from the neighbourhood.
+                let pa = neighborhoods[i][self.rng.gen_range(0..t)];
+                let pb = neighborhoods[i][self.rng.gen_range(0..t)];
+                let (mut child, _) = sbx_crossover(
+                    &population[pa].variables,
+                    &population[pb].variables,
+                    &bounds,
+                    self.config.eta_crossover,
+                    &mut self.rng,
+                );
+                polynomial_mutation(
+                    &mut child,
+                    &bounds,
+                    mutation_probability,
+                    self.config.eta_mutation,
+                    &mut self.rng,
+                );
+                let child = Individual::from_variables(problem, child);
+
+                // Update the ideal point.
+                for (z, &f) in ideal.iter_mut().zip(&child.objectives) {
+                    *z = z.min(f);
+                }
+                // Update neighbouring sub-problems. Infeasible children are
+                // only allowed to replace more-violating incumbents.
+                for &j in &neighborhoods[i] {
+                    let incumbent = &population[j];
+                    let replace = if child.violation > 0.0 || incumbent.violation > 0.0 {
+                        child.violation < incumbent.violation
+                    } else {
+                        Self::tchebycheff(&child.objectives, &weights[j], &ideal)
+                            <= Self::tchebycheff(&incumbent.objectives, &weights[j], &ideal)
+                    };
+                    if replace {
+                        population[j] = child.clone();
+                    }
+                }
+            }
+        }
+
+        // Return the non-dominated, feasible subset.
+        let feasible: Vec<Individual> = population
+            .iter()
+            .filter(|individual| individual.is_feasible())
+            .cloned()
+            .collect();
+        let pool = if feasible.is_empty() { population } else { feasible };
+        let objectives: Vec<Vec<f64>> = pool.iter().map(|i| i.objectives.clone()).collect();
+        let front = nondominated_filter(&objectives);
+        pool.into_iter()
+            .filter(|individual| front.contains(&individual.objectives))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::dominates;
+    use crate::problems::{Dtlz2, Schaffer, Zdt1};
+
+    fn config(generations: usize) -> MoeadConfig {
+        MoeadConfig {
+            population_size: 40,
+            generations,
+            neighborhood_size: 10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn schaffer_front_is_covered() {
+        let front = Moead::new(config(60), 4).run(&Schaffer);
+        assert!(front.len() >= 5);
+        for individual in &front {
+            assert!(individual.variables[0] > -0.3 && individual.variables[0] < 2.3);
+        }
+    }
+
+    #[test]
+    fn front_is_mutually_nondominating() {
+        let front = Moead::new(config(40), 8).run(&Zdt1 { variables: 6 });
+        for a in &front {
+            for b in &front {
+                assert!(!dominates(&a.objectives, &b.objectives) || a.objectives == b.objectives);
+            }
+        }
+    }
+
+    #[test]
+    fn three_objective_problem_is_supported() {
+        let front = Moead::new(config(30), 5).run(&Dtlz2 { variables: 6 });
+        assert!(!front.is_empty());
+        assert_eq!(front[0].objectives.len(), 3);
+    }
+
+    #[test]
+    fn tchebycheff_is_zero_at_the_ideal_point() {
+        let value = Moead::tchebycheff(&[1.0, 2.0], &[0.5, 0.5], &[1.0, 2.0]);
+        assert_eq!(value, 0.0);
+        let worse = Moead::tchebycheff(&[2.0, 3.0], &[0.5, 0.5], &[1.0, 2.0]);
+        assert!(worse > 0.0);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let a = Moead::new(config(15), 77).run(&Schaffer);
+        let b = Moead::new(config(15), 77).run(&Schaffer);
+        assert_eq!(
+            a.iter().map(|i| i.objectives.clone()).collect::<Vec<_>>(),
+            b.iter().map(|i| i.objectives.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "supports 2 or 3 objectives")]
+    fn too_many_objectives_panic() {
+        struct FourObjectives;
+        impl MultiObjectiveProblem for FourObjectives {
+            fn num_variables(&self) -> usize {
+                1
+            }
+            fn num_objectives(&self) -> usize {
+                4
+            }
+            fn bounds(&self) -> Vec<(f64, f64)> {
+                vec![(0.0, 1.0)]
+            }
+            fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+                vec![x[0]; 4]
+            }
+        }
+        let _ = Moead::new(config(1), 0).run(&FourObjectives);
+    }
+}

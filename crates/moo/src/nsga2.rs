@@ -1,0 +1,308 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{
+    assign_crowding_distance, fast_nondominated_sort, polynomial_mutation, sbx_crossover,
+    tournament_select, Individual, MultiObjectiveProblem, Population,
+};
+
+/// Configuration of an NSGA-II run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Nsga2Config {
+    /// Number of individuals kept each generation.
+    pub population_size: usize,
+    /// Number of generations to evolve.
+    pub generations: usize,
+    /// Probability of applying SBX crossover to a mating pair.
+    pub crossover_probability: f64,
+    /// SBX distribution index (η_c).
+    pub eta_crossover: f64,
+    /// Per-gene mutation probability; `None` uses the `1/n` convention.
+    pub mutation_probability: Option<f64>,
+    /// Polynomial-mutation distribution index (η_m).
+    pub eta_mutation: f64,
+}
+
+impl Default for Nsga2Config {
+    fn default() -> Self {
+        Nsga2Config {
+            population_size: 100,
+            generations: 250,
+            crossover_probability: 0.9,
+            eta_crossover: 15.0,
+            mutation_probability: None,
+            eta_mutation: 20.0,
+        }
+    }
+}
+
+/// The Non-dominated Sorting Genetic Algorithm II (Deb et al., 2002).
+///
+/// Derivative-free, elitist, with constrained-domination handling — the
+/// island engine of the paper's PMO2 framework.
+///
+/// # Example
+///
+/// ```
+/// use pathway_moo::{Nsga2, Nsga2Config, problems::Zdt1};
+///
+/// let config = Nsga2Config { population_size: 40, generations: 60, ..Default::default() };
+/// let front = Nsga2::new(config, 1).run(&Zdt1 { variables: 6 });
+/// assert!(front.len() > 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Nsga2 {
+    config: Nsga2Config,
+    rng: StdRng,
+    population: Population,
+}
+
+impl Nsga2 {
+    /// Creates a solver with a deterministic seed.
+    pub fn new(config: Nsga2Config, seed: u64) -> Self {
+        Nsga2 {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            population: Population::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &Nsga2Config {
+        &self.config
+    }
+
+    /// Current population (empty before the first generation).
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// Replaces the current population; used by the archipelago to inject
+    /// migrants. Extra individuals are truncated on the next environmental
+    /// selection.
+    pub fn set_population(&mut self, population: Population) {
+        self.population = population;
+    }
+
+    /// Initializes the population if needed.
+    pub fn initialize<P: MultiObjectiveProblem>(&mut self, problem: &P) {
+        if self.population.is_empty() {
+            self.population =
+                Population::random(problem, self.config.population_size, &mut self.rng);
+            let mut members: Vec<Individual> = self.population.clone().into_iter().collect();
+            let fronts = fast_nondominated_sort(&mut members);
+            for front in &fronts {
+                assign_crowding_distance(&mut members, front);
+            }
+            self.population = members.into();
+        }
+    }
+
+    /// Runs one generation: mating, variation, environmental selection.
+    pub fn step<P: MultiObjectiveProblem>(&mut self, problem: &P) {
+        self.initialize(problem);
+        let bounds = problem.bounds();
+        let mutation_probability = self
+            .config
+            .mutation_probability
+            .unwrap_or(1.0 / problem.num_variables() as f64);
+
+        // --- offspring generation ---
+        let parents = self.population.members();
+        let mut offspring: Vec<Individual> = Vec::with_capacity(self.config.population_size);
+        while offspring.len() < self.config.population_size {
+            let a = tournament_select(parents, &mut self.rng);
+            let b = tournament_select(parents, &mut self.rng);
+            let (mut child_a, mut child_b) = if rand::Rng::gen_bool(
+                &mut self.rng,
+                self.config.crossover_probability.clamp(0.0, 1.0),
+            ) {
+                sbx_crossover(
+                    &parents[a].variables,
+                    &parents[b].variables,
+                    &bounds,
+                    self.config.eta_crossover,
+                    &mut self.rng,
+                )
+            } else {
+                (parents[a].variables.clone(), parents[b].variables.clone())
+            };
+            polynomial_mutation(
+                &mut child_a,
+                &bounds,
+                mutation_probability,
+                self.config.eta_mutation,
+                &mut self.rng,
+            );
+            polynomial_mutation(
+                &mut child_b,
+                &bounds,
+                mutation_probability,
+                self.config.eta_mutation,
+                &mut self.rng,
+            );
+            offspring.push(Individual::from_variables(problem, child_a));
+            if offspring.len() < self.config.population_size {
+                offspring.push(Individual::from_variables(problem, child_b));
+            }
+        }
+
+        // --- environmental selection on parents ∪ offspring ---
+        let mut combined: Vec<Individual> = self.population.clone().into_iter().collect();
+        combined.extend(offspring);
+        let next = Self::environmental_selection(combined, self.config.population_size);
+        self.population = next;
+    }
+
+    /// Truncates a combined population to `target` members using
+    /// (rank, crowding) selection.
+    fn environmental_selection(mut combined: Vec<Individual>, target: usize) -> Population {
+        let fronts = fast_nondominated_sort(&mut combined);
+        for front in &fronts {
+            assign_crowding_distance(&mut combined, front);
+        }
+        let mut selected: Vec<Individual> = Vec::with_capacity(target);
+        for front in &fronts {
+            if selected.len() + front.len() <= target {
+                selected.extend(front.iter().map(|&i| combined[i].clone()));
+            } else {
+                let mut remaining: Vec<usize> = front.clone();
+                remaining.sort_by(|&a, &b| {
+                    combined[b]
+                        .crowding
+                        .partial_cmp(&combined[a].crowding)
+                        .expect("crowding distances are not NaN")
+                });
+                for &i in remaining.iter().take(target - selected.len()) {
+                    selected.push(combined[i].clone());
+                }
+                break;
+            }
+        }
+        selected.into()
+    }
+
+    /// Runs the configured number of generations and returns the final
+    /// non-dominated set.
+    pub fn run<P: MultiObjectiveProblem>(&mut self, problem: &P) -> Vec<Individual> {
+        self.initialize(problem);
+        for _ in 0..self.config.generations {
+            self.step(problem);
+        }
+        self.nondominated_front()
+    }
+
+    /// Non-dominated, feasible members of the current population.
+    pub fn nondominated_front(&self) -> Vec<Individual> {
+        let mut members: Vec<Individual> = self.population.clone().into_iter().collect();
+        if members.is_empty() {
+            return members;
+        }
+        let fronts = fast_nondominated_sort(&mut members);
+        fronts[0].iter().map(|&i| members[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::dominates;
+    use crate::problems::{BinhKorn, Schaffer, Zdt1};
+
+    fn small_config(generations: usize) -> Nsga2Config {
+        Nsga2Config {
+            population_size: 40,
+            generations,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn schaffer_front_is_found() {
+        let front = Nsga2::new(small_config(60), 42).run(&Schaffer);
+        assert!(front.len() >= 10);
+        for individual in &front {
+            // Pareto set of the Schaffer problem is x in [0, 2].
+            assert!(individual.variables[0] > -0.2 && individual.variables[0] < 2.2);
+        }
+    }
+
+    #[test]
+    fn front_members_do_not_dominate_each_other() {
+        let front = Nsga2::new(small_config(40), 3).run(&Zdt1 { variables: 6 });
+        for a in &front {
+            for b in &front {
+                assert!(!dominates(&a.objectives, &b.objectives) || a.objectives == b.objectives);
+            }
+        }
+    }
+
+    #[test]
+    fn zdt1_converges_towards_the_true_front() {
+        let front = Nsga2::new(
+            Nsga2Config {
+                population_size: 60,
+                generations: 150,
+                ..Default::default()
+            },
+            7,
+        )
+        .run(&Zdt1 { variables: 8 });
+        // On the true front f2 = 1 - sqrt(f1); measure the mean gap.
+        let mean_gap: f64 = front
+            .iter()
+            .map(|ind| (ind.objectives[1] - (1.0 - ind.objectives[0].sqrt())).abs())
+            .sum::<f64>()
+            / front.len() as f64;
+        assert!(mean_gap < 0.25, "mean gap to the true front was {mean_gap}");
+    }
+
+    #[test]
+    fn constrained_problem_yields_feasible_front() {
+        let front = Nsga2::new(small_config(80), 11).run(&BinhKorn);
+        assert!(!front.is_empty());
+        for individual in &front {
+            assert!(individual.is_feasible());
+        }
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let a = Nsga2::new(small_config(20), 99).run(&Schaffer);
+        let b = Nsga2::new(small_config(20), 99).run(&Schaffer);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.objectives, y.objectives);
+        }
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let a = Nsga2::new(small_config(10), 1).run(&Zdt1 { variables: 6 });
+        let b = Nsga2::new(small_config(10), 2).run(&Zdt1 { variables: 6 });
+        assert_ne!(
+            a.iter().map(|i| i.objectives.clone()).collect::<Vec<_>>(),
+            b.iter().map(|i| i.objectives.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn step_keeps_population_size_constant() {
+        let mut solver = Nsga2::new(small_config(1), 5);
+        solver.initialize(&Schaffer);
+        assert_eq!(solver.population().len(), 40);
+        solver.step(&Schaffer);
+        assert_eq!(solver.population().len(), 40);
+    }
+
+    #[test]
+    fn set_population_is_truncated_on_next_step() {
+        let mut solver = Nsga2::new(small_config(1), 5);
+        solver.initialize(&Schaffer);
+        let mut inflated: Vec<Individual> = solver.population().clone().into_iter().collect();
+        inflated.extend(solver.population().clone().into_iter());
+        solver.set_population(inflated.into());
+        solver.step(&Schaffer);
+        assert_eq!(solver.population().len(), 40);
+    }
+}

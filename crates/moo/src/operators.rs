@@ -1,0 +1,214 @@
+//! Variation and selection operators used by NSGA-II, MOEA/D and PMO2.
+
+use rand::Rng;
+
+use crate::{constrained_dominates, Individual};
+
+/// Simulated binary crossover (SBX) of two parent decision vectors.
+///
+/// Returns two children; each gene is crossed with probability 0.5 (otherwise
+/// copied), using the distribution index `eta_c` (larger values produce
+/// children closer to their parents). Children are clamped to `bounds`.
+///
+/// # Panics
+///
+/// Panics if the parents or bounds have inconsistent lengths.
+pub fn sbx_crossover<R: Rng>(
+    parent_a: &[f64],
+    parent_b: &[f64],
+    bounds: &[(f64, f64)],
+    eta_c: f64,
+    rng: &mut R,
+) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(parent_a.len(), parent_b.len(), "parents must have equal length");
+    assert_eq!(parent_a.len(), bounds.len(), "one bound per variable is required");
+    let n = parent_a.len();
+    let mut child_a = parent_a.to_vec();
+    let mut child_b = parent_b.to_vec();
+
+    for i in 0..n {
+        if rng.gen_bool(0.5) {
+            continue;
+        }
+        let (x1, x2) = (parent_a[i], parent_b[i]);
+        if (x1 - x2).abs() < 1e-14 {
+            continue;
+        }
+        let u: f64 = rng.gen();
+        let beta = if u <= 0.5 {
+            (2.0 * u).powf(1.0 / (eta_c + 1.0))
+        } else {
+            (1.0 / (2.0 * (1.0 - u))).powf(1.0 / (eta_c + 1.0))
+        };
+        let c1 = 0.5 * ((1.0 + beta) * x1 + (1.0 - beta) * x2);
+        let c2 = 0.5 * ((1.0 - beta) * x1 + (1.0 + beta) * x2);
+        let (lower, upper) = bounds[i];
+        child_a[i] = c1.clamp(lower, upper);
+        child_b[i] = c2.clamp(lower, upper);
+    }
+    (child_a, child_b)
+}
+
+/// Polynomial mutation with distribution index `eta_m`; each gene mutates with
+/// probability `mutation_probability` and stays within `bounds`.
+///
+/// # Panics
+///
+/// Panics if `x` and `bounds` have different lengths.
+pub fn polynomial_mutation<R: Rng>(
+    x: &mut [f64],
+    bounds: &[(f64, f64)],
+    mutation_probability: f64,
+    eta_m: f64,
+    rng: &mut R,
+) {
+    assert_eq!(x.len(), bounds.len(), "one bound per variable is required");
+    for i in 0..x.len() {
+        if !rng.gen_bool(mutation_probability.clamp(0.0, 1.0)) {
+            continue;
+        }
+        let (lower, upper) = bounds[i];
+        let range = upper - lower;
+        if range <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen();
+        let delta = if u < 0.5 {
+            (2.0 * u).powf(1.0 / (eta_m + 1.0)) - 1.0
+        } else {
+            1.0 - (2.0 * (1.0 - u)).powf(1.0 / (eta_m + 1.0))
+        };
+        x[i] = (x[i] + delta * range).clamp(lower, upper);
+    }
+}
+
+/// Binary tournament selection on (constrained domination, crowding distance).
+///
+/// Picks two random members and returns the index of the preferred one: the
+/// dominating individual wins; if neither dominates, the one with the larger
+/// crowding distance wins.
+///
+/// # Panics
+///
+/// Panics if `population` is empty.
+pub fn tournament_select<R: Rng>(population: &[Individual], rng: &mut R) -> usize {
+    assert!(!population.is_empty(), "population must not be empty");
+    let a = rng.gen_range(0..population.len());
+    let b = rng.gen_range(0..population.len());
+    let ind_a = &population[a];
+    let ind_b = &population[b];
+    if constrained_dominates(ind_a, ind_b) {
+        a
+    } else if constrained_dominates(ind_b, ind_a) {
+        b
+    } else if ind_a.rank != ind_b.rank {
+        if ind_a.rank < ind_b.rank {
+            a
+        } else {
+            b
+        }
+    } else if ind_a.crowding >= ind_b.crowding {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bounds(n: usize) -> Vec<(f64, f64)> {
+        vec![(0.0, 1.0); n]
+    }
+
+    #[test]
+    fn sbx_children_stay_in_bounds_and_near_parents() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = vec![0.2, 0.8, 0.5];
+        let b = vec![0.3, 0.1, 0.5];
+        for _ in 0..200 {
+            let (c1, c2) = sbx_crossover(&a, &b, &bounds(3), 15.0, &mut rng);
+            for child in [&c1, &c2] {
+                for &value in child {
+                    assert!((0.0..=1.0).contains(&value));
+                }
+            }
+            // A gene identical in both parents is inherited unchanged.
+            assert_eq!(c1[2], 0.5);
+            assert_eq!(c2[2], 0.5);
+        }
+    }
+
+    #[test]
+    fn sbx_with_high_eta_keeps_children_close() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = vec![0.4];
+        let b = vec![0.6];
+        let mut max_spread: f64 = 0.0;
+        for _ in 0..500 {
+            let (c1, _) = sbx_crossover(&a, &b, &bounds(1), 100.0, &mut rng);
+            max_spread = max_spread.max((c1[0] - 0.5).abs());
+        }
+        assert!(max_spread < 0.3);
+    }
+
+    #[test]
+    fn mutation_respects_bounds_and_probability_zero_is_identity() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut x = vec![0.5, 0.5];
+        polynomial_mutation(&mut x, &bounds(2), 0.0, 20.0, &mut rng);
+        assert_eq!(x, vec![0.5, 0.5]);
+        for _ in 0..200 {
+            polynomial_mutation(&mut x, &bounds(2), 1.0, 20.0, &mut rng);
+            for &value in &x {
+                assert!((0.0..=1.0).contains(&value));
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_skips_degenerate_bounds() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut x = vec![0.45];
+        polynomial_mutation(&mut x, &[(0.45, 0.45)], 1.0, 20.0, &mut rng);
+        assert_eq!(x[0], 0.45);
+    }
+
+    #[test]
+    fn tournament_prefers_dominating_and_less_crowded() {
+        let good = Individual {
+            variables: vec![],
+            objectives: vec![0.0, 0.0],
+            violation: 0.0,
+            rank: 0,
+            crowding: 1.0,
+        };
+        let bad = Individual {
+            variables: vec![],
+            objectives: vec![1.0, 1.0],
+            violation: 0.0,
+            rank: 1,
+            crowding: 0.1,
+        };
+        let population = vec![good, bad];
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut wins_for_good = 0;
+        for _ in 0..200 {
+            if tournament_select(&population, &mut rng) == 0 {
+                wins_for_good += 1;
+            }
+        }
+        // The good individual can only lose when it is not drawn at all.
+        assert!(wins_for_good > 140);
+    }
+
+    #[test]
+    #[should_panic(expected = "population must not be empty")]
+    fn tournament_on_empty_population_panics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = tournament_select(&[], &mut rng);
+    }
+}

@@ -1,0 +1,217 @@
+//! Synthetic benchmark problems with known Pareto fronts.
+//!
+//! These are used by this crate's tests, by the workspace's property tests and
+//! by the Criterion benches, so they are part of the public API.
+
+use crate::MultiObjectiveProblem;
+
+/// Schaffer's single-variable problem: minimize `(x², (x-2)²)` over
+/// `x ∈ [-5, 5]`. The Pareto set is `x ∈ [0, 2]`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Schaffer;
+
+impl MultiObjectiveProblem for Schaffer {
+    fn num_variables(&self) -> usize {
+        1
+    }
+    fn num_objectives(&self) -> usize {
+        2
+    }
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        vec![(-5.0, 5.0)]
+    }
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        vec![x[0] * x[0], (x[0] - 2.0) * (x[0] - 2.0)]
+    }
+    fn name(&self) -> &str {
+        "schaffer"
+    }
+}
+
+/// The ZDT1 problem: `n` variables in `[0, 1]`, convex Pareto front
+/// `f2 = 1 - sqrt(f1)` at `x_2..x_n = 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Zdt1 {
+    /// Number of decision variables (at least 2; the classic setting is 30).
+    pub variables: usize,
+}
+
+impl Default for Zdt1 {
+    fn default() -> Self {
+        Zdt1 { variables: 30 }
+    }
+}
+
+impl MultiObjectiveProblem for Zdt1 {
+    fn num_variables(&self) -> usize {
+        self.variables
+    }
+    fn num_objectives(&self) -> usize {
+        2
+    }
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        vec![(0.0, 1.0); self.variables]
+    }
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        let f1 = x[0];
+        let g = 1.0 + 9.0 * x[1..].iter().sum::<f64>() / (self.variables as f64 - 1.0);
+        let f2 = g * (1.0 - (f1 / g).sqrt());
+        vec![f1, f2]
+    }
+    fn name(&self) -> &str {
+        "zdt1"
+    }
+}
+
+/// ZDT2: like ZDT1 but with a concave front `f2 = 1 - f1²`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Zdt2 {
+    /// Number of decision variables (at least 2; the classic setting is 30).
+    pub variables: usize,
+}
+
+impl Default for Zdt2 {
+    fn default() -> Self {
+        Zdt2 { variables: 30 }
+    }
+}
+
+impl MultiObjectiveProblem for Zdt2 {
+    fn num_variables(&self) -> usize {
+        self.variables
+    }
+    fn num_objectives(&self) -> usize {
+        2
+    }
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        vec![(0.0, 1.0); self.variables]
+    }
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        let f1 = x[0];
+        let g = 1.0 + 9.0 * x[1..].iter().sum::<f64>() / (self.variables as f64 - 1.0);
+        let f2 = g * (1.0 - (f1 / g).powi(2));
+        vec![f1, f2]
+    }
+    fn name(&self) -> &str {
+        "zdt2"
+    }
+}
+
+/// Binh and Korn's constrained problem: two variables, two objectives, two
+/// constraints. Used to exercise constrained-domination.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BinhKorn;
+
+impl MultiObjectiveProblem for BinhKorn {
+    fn num_variables(&self) -> usize {
+        2
+    }
+    fn num_objectives(&self) -> usize {
+        2
+    }
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        vec![(0.0, 5.0), (0.0, 3.0)]
+    }
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        let f1 = 4.0 * x[0] * x[0] + 4.0 * x[1] * x[1];
+        let f2 = (x[0] - 5.0).powi(2) + (x[1] - 5.0).powi(2);
+        vec![f1, f2]
+    }
+    fn constraint_violation(&self, x: &[f64]) -> f64 {
+        // (x1-5)^2 + x2^2 <= 25  and  (x1-8)^2 + (x2+3)^2 >= 7.7
+        let g1 = (x[0] - 5.0).powi(2) + x[1] * x[1] - 25.0;
+        let g2 = 7.7 - ((x[0] - 8.0).powi(2) + (x[1] + 3.0).powi(2));
+        g1.max(0.0) + g2.max(0.0)
+    }
+    fn name(&self) -> &str {
+        "binh-korn"
+    }
+}
+
+/// A three-objective variant of the DTLZ2 problem with a spherical front, used
+/// to exercise the 3-D hypervolume and the Pareto-surface analysis of the
+/// paper's Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dtlz2 {
+    /// Number of decision variables (at least 3).
+    pub variables: usize,
+}
+
+impl Default for Dtlz2 {
+    fn default() -> Self {
+        Dtlz2 { variables: 7 }
+    }
+}
+
+impl MultiObjectiveProblem for Dtlz2 {
+    fn num_variables(&self) -> usize {
+        self.variables
+    }
+    fn num_objectives(&self) -> usize {
+        3
+    }
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        vec![(0.0, 1.0); self.variables]
+    }
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        use std::f64::consts::FRAC_PI_2;
+        let g: f64 = x[2..].iter().map(|v| (v - 0.5) * (v - 0.5)).sum();
+        let f1 = (1.0 + g) * (x[0] * FRAC_PI_2).cos() * (x[1] * FRAC_PI_2).cos();
+        let f2 = (1.0 + g) * (x[0] * FRAC_PI_2).cos() * (x[1] * FRAC_PI_2).sin();
+        let f3 = (1.0 + g) * (x[0] * FRAC_PI_2).sin();
+        vec![f1, f2, f3]
+    }
+    fn name(&self) -> &str {
+        "dtlz2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schaffer_pareto_set_is_zero_to_two() {
+        let ideal_left = Schaffer.evaluate(&[0.0]);
+        let ideal_right = Schaffer.evaluate(&[2.0]);
+        assert_eq!(ideal_left, vec![0.0, 4.0]);
+        assert_eq!(ideal_right, vec![4.0, 0.0]);
+    }
+
+    #[test]
+    fn zdt1_front_is_reached_at_zero_tail() {
+        let problem = Zdt1 { variables: 5 };
+        let x = [0.25, 0.0, 0.0, 0.0, 0.0];
+        let f = problem.evaluate(&x);
+        assert!((f[1] - (1.0 - 0.25f64.sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zdt2_front_is_concave() {
+        let problem = Zdt2 { variables: 4 };
+        let f = problem.evaluate(&[0.5, 0.0, 0.0, 0.0]);
+        assert!((f[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binh_korn_violation_detects_infeasible_points() {
+        assert_eq!(BinhKorn.constraint_violation(&[2.0, 2.0]), 0.0);
+        assert!(BinhKorn.constraint_violation(&[0.0, 3.0]) > 0.0);
+    }
+
+    #[test]
+    fn dtlz2_front_is_the_unit_sphere() {
+        let problem = Dtlz2 { variables: 7 };
+        let x = [0.3, 0.7, 0.5, 0.5, 0.5, 0.5, 0.5];
+        let f = problem.evaluate(&x);
+        let radius: f64 = f.iter().map(|v| v * v).sum::<f64>();
+        assert!((radius - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Schaffer.name(), "schaffer");
+        assert_eq!(Zdt1::default().name(), "zdt1");
+        assert_eq!(Dtlz2::default().name(), "dtlz2");
+    }
+}

@@ -1,0 +1,207 @@
+use pathway_linalg::Vector;
+
+use crate::system::validate_inputs;
+use crate::{IntegrationResult, IntegrationStats, Integrator, OdeError, OdeSystem};
+
+/// The classical fixed-step fourth-order Runge–Kutta method.
+///
+/// A good default for smooth, non-stiff systems where a safe step size is
+/// known in advance. The photosynthesis steady-state driver uses it with a
+/// small step as the reference integrator.
+///
+/// # Example
+///
+/// ```
+/// use pathway_ode::{OdeSystem, Rk4, Integrator};
+/// use pathway_linalg::Vector;
+///
+/// struct Decay;
+/// impl OdeSystem for Decay {
+///     fn dim(&self) -> usize { 1 }
+///     fn rhs(&self, _t: f64, y: &Vector, dydt: &mut Vector) { dydt[0] = -y[0]; }
+/// }
+///
+/// # fn main() -> Result<(), pathway_ode::OdeError> {
+/// let result = Rk4::new(0.01).integrate(&Decay, 0.0, Vector::from(vec![2.0]), 1.0)?;
+/// assert!((result.state[0] - 2.0 * (-1.0f64).exp()).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rk4 {
+    step: f64,
+}
+
+impl Rk4 {
+    /// Creates a solver with the given fixed step size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not strictly positive and finite.
+    pub fn new(step: f64) -> Self {
+        assert!(
+            step.is_finite() && step > 0.0,
+            "step size must be positive and finite"
+        );
+        Rk4 { step }
+    }
+
+    /// The configured step size.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+}
+
+impl Integrator for Rk4 {
+    fn integrate<S: OdeSystem>(
+        &self,
+        system: &S,
+        t0: f64,
+        y0: Vector,
+        t_end: f64,
+    ) -> crate::Result<IntegrationResult> {
+        validate_inputs(system, &y0, t0, t_end)?;
+        let dim = system.dim();
+        let mut stats = IntegrationStats::new();
+        let mut t = t0;
+        let mut y = y0;
+
+        let mut k1 = Vector::zeros(dim);
+        let mut k2 = Vector::zeros(dim);
+        let mut k3 = Vector::zeros(dim);
+        let mut k4 = Vector::zeros(dim);
+        let mut scratch = Vector::zeros(dim);
+
+        while t < t_end {
+            let h = self.step.min(t_end - t);
+
+            system.rhs(t, &y, &mut k1);
+            for i in 0..dim {
+                scratch[i] = y[i] + 0.5 * h * k1[i];
+            }
+            system.rhs(t + 0.5 * h, &scratch, &mut k2);
+            for i in 0..dim {
+                scratch[i] = y[i] + 0.5 * h * k2[i];
+            }
+            system.rhs(t + 0.5 * h, &scratch, &mut k3);
+            for i in 0..dim {
+                scratch[i] = y[i] + h * k3[i];
+            }
+            system.rhs(t + h, &scratch, &mut k4);
+            stats.rhs_evaluations += 4;
+
+            for i in 0..dim {
+                y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+            }
+            t += h;
+            system.project(t, &mut y);
+
+            if !y.is_finite() {
+                return Err(OdeError::NonFiniteState { time: t });
+            }
+            stats.steps_accepted += 1;
+        }
+
+        Ok(IntegrationResult {
+            time: t_end,
+            state: y,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::test_systems::{Decay, Harmonic, Logistic};
+    use proptest::prelude::*;
+
+    #[test]
+    fn decay_matches_analytic_solution() {
+        let result = Rk4::new(1e-3)
+            .integrate(&Decay { k: 2.0 }, 0.0, Vector::from(vec![1.0]), 1.0)
+            .unwrap();
+        assert!((result.state[0] - (-2.0f64).exp()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn harmonic_oscillator_conserves_energy_approximately() {
+        let result = Rk4::new(1e-3)
+            .integrate(&Harmonic, 0.0, Vector::from(vec![1.0, 0.0]), 10.0)
+            .unwrap();
+        let energy = result.state[0].powi(2) + result.state[1].powi(2);
+        assert!((energy - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn final_time_is_hit_exactly_even_with_non_divisible_step() {
+        let result = Rk4::new(0.3)
+            .integrate(&Decay { k: 1.0 }, 0.0, Vector::from(vec![1.0]), 1.0)
+            .unwrap();
+        assert_eq!(result.time, 1.0);
+        assert!((result.state[0] - (-1.0f64).exp()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn zero_length_span_returns_initial_state() {
+        let y0 = Vector::from(vec![3.0]);
+        let result = Rk4::new(0.1)
+            .integrate(&Decay { k: 1.0 }, 2.0, y0.clone(), 2.0)
+            .unwrap();
+        assert_eq!(result.state, y0);
+        assert_eq!(result.stats.steps_accepted, 0);
+    }
+
+    #[test]
+    fn projection_is_applied_after_each_step() {
+        let result = Rk4::new(0.5)
+            .integrate(&Logistic { r: 10.0 }, 0.0, Vector::from(vec![0.5]), 5.0)
+            .unwrap();
+        assert!(result.state[0] <= 1.0 && result.state[0] >= 0.0);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let err = Rk4::new(0.1)
+            .integrate(&Harmonic, 0.0, Vector::from(vec![1.0]), 1.0)
+            .unwrap_err();
+        assert!(matches!(err, OdeError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "step size must be positive")]
+    fn non_positive_step_panics() {
+        let _ = Rk4::new(0.0);
+    }
+
+    #[test]
+    fn stats_count_rhs_evaluations() {
+        let result = Rk4::new(0.1)
+            .integrate(&Decay { k: 1.0 }, 0.0, Vector::from(vec![1.0]), 1.0)
+            .unwrap();
+        // 10 full steps, plus possibly one tiny closing step caused by
+        // floating-point accumulation of 0.1.
+        assert!(result.stats.steps_accepted >= 10 && result.stats.steps_accepted <= 11);
+        assert_eq!(result.stats.rhs_evaluations, 4 * result.stats.steps_accepted);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_decay_error_is_fourth_order(k in 0.1f64..3.0, y0 in 0.1f64..10.0) {
+            let exact = y0 * (-k).exp();
+            let coarse = Rk4::new(0.1)
+                .integrate(&Decay { k }, 0.0, Vector::from(vec![y0]), 1.0)
+                .unwrap()
+                .state[0];
+            let fine = Rk4::new(0.05)
+                .integrate(&Decay { k }, 0.0, Vector::from(vec![y0]), 1.0)
+                .unwrap()
+                .state[0];
+            let err_coarse = (coarse - exact).abs();
+            let err_fine = (fine - exact).abs();
+            // Halving the step should reduce the error by roughly 2^4 = 16;
+            // allow generous slack for round-off on very accurate cases.
+            prop_assert!(err_fine <= err_coarse / 8.0 + 1e-12);
+        }
+    }
+}

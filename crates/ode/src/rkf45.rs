@@ -1,0 +1,440 @@
+use pathway_linalg::Vector;
+
+use crate::system::validate_inputs;
+use crate::{IntegrationResult, IntegrationStats, Integrator, OdeError, OdeSystem};
+
+/// Options shared by the adaptive embedded Runge–Kutta solvers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveOptions {
+    /// Absolute error tolerance per step.
+    pub abs_tol: f64,
+    /// Relative error tolerance per step.
+    pub rel_tol: f64,
+    /// Initial step size guess.
+    pub initial_step: f64,
+    /// Smallest step size the controller may use before giving up.
+    pub min_step: f64,
+    /// Largest step size the controller may take.
+    pub max_step: f64,
+    /// Hard cap on the number of accepted + rejected steps.
+    pub max_steps: usize,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        AdaptiveOptions {
+            abs_tol: 1e-8,
+            rel_tol: 1e-6,
+            initial_step: 1e-3,
+            min_step: 1e-12,
+            max_step: 1.0,
+            max_steps: 10_000_000,
+        }
+    }
+}
+
+impl AdaptiveOptions {
+    fn validate(&self) -> crate::Result<()> {
+        if !(self.abs_tol > 0.0) || !(self.rel_tol > 0.0) {
+            return Err(OdeError::InvalidParameter(
+                "tolerances must be positive".into(),
+            ));
+        }
+        if !(self.initial_step > 0.0) || !(self.min_step > 0.0) || !(self.max_step > 0.0) {
+            return Err(OdeError::InvalidParameter(
+                "step sizes must be positive".into(),
+            ));
+        }
+        if self.min_step > self.max_step {
+            return Err(OdeError::InvalidParameter(
+                "minimum step exceeds maximum step".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Butcher tableau of an embedded 4(5) pair.
+struct EmbeddedTableau {
+    /// Node fractions `c`.
+    c: [f64; 6],
+    /// Stage coefficients, row `i` holds `a[i][0..i]`.
+    a: [[f64; 5]; 6],
+    /// 5th-order weights.
+    b5: [f64; 6],
+    /// 4th-order weights (error estimator).
+    b4: [f64; 6],
+}
+
+const FEHLBERG: EmbeddedTableau = EmbeddedTableau {
+    c: [0.0, 0.25, 3.0 / 8.0, 12.0 / 13.0, 1.0, 0.5],
+    a: [
+        [0.0, 0.0, 0.0, 0.0, 0.0],
+        [0.25, 0.0, 0.0, 0.0, 0.0],
+        [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
+        [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
+        [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
+        [
+            -8.0 / 27.0,
+            2.0,
+            -3544.0 / 2565.0,
+            1859.0 / 4104.0,
+            -11.0 / 40.0,
+        ],
+    ],
+    b5: [
+        16.0 / 135.0,
+        0.0,
+        6656.0 / 12825.0,
+        28561.0 / 56430.0,
+        -9.0 / 50.0,
+        2.0 / 55.0,
+    ],
+    b4: [
+        25.0 / 216.0,
+        0.0,
+        1408.0 / 2565.0,
+        2197.0 / 4104.0,
+        -1.0 / 5.0,
+        0.0,
+    ],
+};
+
+const CASH_KARP: EmbeddedTableau = EmbeddedTableau {
+    c: [0.0, 0.2, 0.3, 0.6, 1.0, 7.0 / 8.0],
+    a: [
+        [0.0, 0.0, 0.0, 0.0, 0.0],
+        [0.2, 0.0, 0.0, 0.0, 0.0],
+        [3.0 / 40.0, 9.0 / 40.0, 0.0, 0.0, 0.0],
+        [0.3, -0.9, 1.2, 0.0, 0.0],
+        [-11.0 / 54.0, 2.5, -70.0 / 27.0, 35.0 / 27.0, 0.0],
+        [
+            1631.0 / 55296.0,
+            175.0 / 512.0,
+            575.0 / 13824.0,
+            44275.0 / 110592.0,
+            253.0 / 4096.0,
+        ],
+    ],
+    b5: [
+        37.0 / 378.0,
+        0.0,
+        250.0 / 621.0,
+        125.0 / 594.0,
+        0.0,
+        512.0 / 1771.0,
+    ],
+    b4: [
+        2825.0 / 27648.0,
+        0.0,
+        18575.0 / 48384.0,
+        13525.0 / 55296.0,
+        277.0 / 14336.0,
+        0.25,
+    ],
+};
+
+fn integrate_embedded<S: OdeSystem>(
+    tableau: &EmbeddedTableau,
+    options: &AdaptiveOptions,
+    system: &S,
+    t0: f64,
+    y0: Vector,
+    t_end: f64,
+) -> crate::Result<IntegrationResult> {
+    options.validate()?;
+    validate_inputs(system, &y0, t0, t_end)?;
+    let dim = system.dim();
+    let mut stats = IntegrationStats::new();
+    let mut t = t0;
+    let mut y = y0;
+    let mut h = options.initial_step.min(options.max_step);
+
+    let mut k = vec![Vector::zeros(dim); 6];
+    let mut stage = Vector::zeros(dim);
+
+    while t < t_end {
+        if stats.steps_attempted() >= options.max_steps {
+            return Err(OdeError::StepSizeUnderflow { time: t, step: h });
+        }
+        h = h.min(t_end - t).min(options.max_step);
+        if h < options.min_step {
+            return Err(OdeError::StepSizeUnderflow { time: t, step: h });
+        }
+
+        // Evaluate the six stages.
+        for s in 0..6 {
+            for i in 0..dim {
+                let mut acc = y[i];
+                for (j, kj) in k.iter().enumerate().take(s) {
+                    acc += h * tableau.a[s][j] * kj[i];
+                }
+                stage[i] = acc;
+            }
+            let (head, tail) = k.split_at_mut(s);
+            let _ = head;
+            system.rhs(t + tableau.c[s] * h, &stage, &mut tail[0]);
+            stats.rhs_evaluations += 1;
+        }
+
+        // 5th-order solution and embedded error estimate.
+        let mut error_norm: f64 = 0.0;
+        let mut y_new = y.clone();
+        for i in 0..dim {
+            let mut high = 0.0;
+            let mut low = 0.0;
+            for (s, ks) in k.iter().enumerate() {
+                high += tableau.b5[s] * ks[i];
+                low += tableau.b4[s] * ks[i];
+            }
+            y_new[i] = y[i] + h * high;
+            let err = h * (high - low);
+            let scale = options.abs_tol + options.rel_tol * y[i].abs().max(y_new[i].abs());
+            error_norm = error_norm.max((err / scale).abs());
+        }
+
+        if !y_new.is_finite() {
+            // Treat a blow-up inside a trial step as a rejection and shrink.
+            stats.steps_rejected += 1;
+            h *= 0.25;
+            if h < options.min_step {
+                return Err(OdeError::NonFiniteState { time: t });
+            }
+            continue;
+        }
+
+        if error_norm <= 1.0 {
+            t += h;
+            y = y_new;
+            system.project(t, &mut y);
+            stats.steps_accepted += 1;
+        } else {
+            stats.steps_rejected += 1;
+        }
+
+        // Standard step controller with safety factor and growth limits.
+        let factor = if error_norm > 0.0 {
+            0.9 * error_norm.powf(-0.2)
+        } else {
+            5.0
+        };
+        h *= factor.clamp(0.2, 5.0);
+    }
+
+    Ok(IntegrationResult {
+        time: t_end,
+        state: y,
+        stats,
+    })
+}
+
+/// Adaptive Runge–Kutta–Fehlberg 4(5) integrator.
+///
+/// # Example
+///
+/// ```
+/// use pathway_ode::{OdeSystem, Rkf45, Integrator, AdaptiveOptions};
+/// use pathway_linalg::Vector;
+///
+/// struct Decay;
+/// impl OdeSystem for Decay {
+///     fn dim(&self) -> usize { 1 }
+///     fn rhs(&self, _t: f64, y: &Vector, dydt: &mut Vector) { dydt[0] = -y[0]; }
+/// }
+///
+/// # fn main() -> Result<(), pathway_ode::OdeError> {
+/// let solver = Rkf45::new(AdaptiveOptions::default());
+/// let result = solver.integrate(&Decay, 0.0, Vector::from(vec![1.0]), 5.0)?;
+/// assert!((result.state[0] - (-5.0f64).exp()).abs() < 1e-5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rkf45 {
+    options: AdaptiveOptions,
+}
+
+impl Rkf45 {
+    /// Creates a solver with the given adaptive options.
+    pub fn new(options: AdaptiveOptions) -> Self {
+        Rkf45 { options }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &AdaptiveOptions {
+        &self.options
+    }
+}
+
+impl Default for Rkf45 {
+    fn default() -> Self {
+        Rkf45::new(AdaptiveOptions::default())
+    }
+}
+
+impl Integrator for Rkf45 {
+    fn integrate<S: OdeSystem>(
+        &self,
+        system: &S,
+        t0: f64,
+        y0: Vector,
+        t_end: f64,
+    ) -> crate::Result<IntegrationResult> {
+        integrate_embedded(&FEHLBERG, &self.options, system, t0, y0, t_end)
+    }
+}
+
+/// Adaptive Cash–Karp 4(5) integrator.
+///
+/// Uses the same step controller as [`Rkf45`] but the Cash–Karp coefficients,
+/// which tend to behave better on mildly stiff kinetics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CashKarp {
+    options: AdaptiveOptions,
+}
+
+impl CashKarp {
+    /// Creates a solver with the given adaptive options.
+    pub fn new(options: AdaptiveOptions) -> Self {
+        CashKarp { options }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &AdaptiveOptions {
+        &self.options
+    }
+}
+
+impl Default for CashKarp {
+    fn default() -> Self {
+        CashKarp::new(AdaptiveOptions::default())
+    }
+}
+
+impl Integrator for CashKarp {
+    fn integrate<S: OdeSystem>(
+        &self,
+        system: &S,
+        t0: f64,
+        y0: Vector,
+        t_end: f64,
+    ) -> crate::Result<IntegrationResult> {
+        integrate_embedded(&CASH_KARP, &self.options, system, t0, y0, t_end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::test_systems::{Decay, Harmonic, StiffLinear};
+
+    #[test]
+    fn rkf45_decay_matches_analytic_solution() {
+        let result = Rkf45::default()
+            .integrate(&Decay { k: 1.5 }, 0.0, Vector::from(vec![2.0]), 2.0)
+            .unwrap();
+        assert!((result.state[0] - 2.0 * (-3.0f64).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cash_karp_decay_matches_analytic_solution() {
+        let result = CashKarp::default()
+            .integrate(&Decay { k: 1.5 }, 0.0, Vector::from(vec![2.0]), 2.0)
+            .unwrap();
+        assert!((result.state[0] - 2.0 * (-3.0f64).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adaptive_solver_takes_fewer_steps_on_smooth_problems_than_tiny_rk4() {
+        let result = Rkf45::default()
+            .integrate(&Decay { k: 0.1 }, 0.0, Vector::from(vec![1.0]), 10.0)
+            .unwrap();
+        // A fixed-step RK4 at h=1e-3 would need 10_000 steps.
+        assert!(result.stats.steps_accepted < 1_000);
+    }
+
+    #[test]
+    fn harmonic_oscillator_stays_accurate_over_many_periods() {
+        let result = Rkf45::new(AdaptiveOptions {
+            rel_tol: 1e-9,
+            abs_tol: 1e-12,
+            ..Default::default()
+        })
+        .integrate(&Harmonic, 0.0, Vector::from(vec![1.0, 0.0]), 20.0)
+        .unwrap();
+        assert!((result.state[0] - 20.0f64.cos()).abs() < 1e-5);
+        assert!((result.state[1] + 20.0f64.sin()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn stiff_problem_is_solved_with_small_steps() {
+        let result = Rkf45::default()
+            .integrate(&StiffLinear, 0.0, Vector::from(vec![1.0, 1.0]), 0.1)
+            .unwrap();
+        // Fast mode decays almost instantly; slow mode barely moves.
+        assert!(result.state[0].abs() < 1e-2);
+        assert!((result.state[1] - (-0.05f64).exp()).abs() < 1e-4);
+        // The controller is forced into many steps by the fast mode.
+        assert!(result.stats.steps_accepted > 10);
+    }
+
+    #[test]
+    fn rejected_steps_are_counted() {
+        let options = AdaptiveOptions {
+            initial_step: 10.0,
+            max_step: 10.0,
+            ..Default::default()
+        };
+        let result = Rkf45::new(options)
+            .integrate(&Decay { k: 5.0 }, 0.0, Vector::from(vec![1.0]), 1.0)
+            .unwrap();
+        assert!(result.stats.steps_rejected > 0);
+    }
+
+    #[test]
+    fn invalid_options_are_rejected() {
+        let options = AdaptiveOptions {
+            abs_tol: -1.0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            Rkf45::new(options).integrate(&Decay { k: 1.0 }, 0.0, Vector::from(vec![1.0]), 1.0),
+            Err(OdeError::InvalidParameter(_))
+        ));
+        let options = AdaptiveOptions {
+            min_step: 1.0,
+            max_step: 0.5,
+            ..Default::default()
+        };
+        assert!(matches!(
+            Rkf45::new(options).integrate(&Decay { k: 1.0 }, 0.0, Vector::from(vec![1.0]), 1.0),
+            Err(OdeError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn max_steps_cap_triggers_underflow_error() {
+        let options = AdaptiveOptions {
+            max_steps: 3,
+            initial_step: 1e-6,
+            max_step: 1e-6,
+            ..Default::default()
+        };
+        assert!(matches!(
+            Rkf45::new(options).integrate(&Decay { k: 1.0 }, 0.0, Vector::from(vec![1.0]), 1.0),
+            Err(OdeError::StepSizeUnderflow { .. })
+        ));
+    }
+
+    #[test]
+    fn fehlberg_and_cash_karp_agree() {
+        let a = Rkf45::default()
+            .integrate(&Harmonic, 0.0, Vector::from(vec![0.0, 1.0]), 3.0)
+            .unwrap();
+        let b = CashKarp::default()
+            .integrate(&Harmonic, 0.0, Vector::from(vec![0.0, 1.0]), 3.0)
+            .unwrap();
+        assert!((a.state[0] - b.state[0]).abs() < 1e-5);
+        assert!((a.state[1] - b.state[1]).abs() < 1e-5);
+    }
+}

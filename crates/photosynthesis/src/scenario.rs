@@ -1,0 +1,193 @@
+use std::fmt;
+
+/// Atmospheric / stromal CO₂ concentration eras studied by the paper.
+///
+/// The paper inspects the problem at three Ci values: 165 µmol/mol (the
+/// atmosphere of 25 million years ago), 270 µmol/mol (the present-day
+/// operating point) and 490 µmol/mol (the level predicted for the end of the
+/// century).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CarbonDioxideEra {
+    /// 25 M years ago: Ci = 165 µmol/mol.
+    Past,
+    /// Present day: Ci = 270 µmol/mol.
+    Present,
+    /// Predicted for 2100 AD: Ci = 490 µmol/mol.
+    Future,
+}
+
+impl CarbonDioxideEra {
+    /// All eras in chronological order.
+    pub const ALL: [CarbonDioxideEra; 3] = [
+        CarbonDioxideEra::Past,
+        CarbonDioxideEra::Present,
+        CarbonDioxideEra::Future,
+    ];
+
+    /// Intercellular CO₂ concentration in µmol/mol.
+    pub fn ci(self) -> f64 {
+        match self {
+            CarbonDioxideEra::Past => 165.0,
+            CarbonDioxideEra::Present => 270.0,
+            CarbonDioxideEra::Future => 490.0,
+        }
+    }
+
+    /// Label used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            CarbonDioxideEra::Past => "Past, 25M years ago",
+            CarbonDioxideEra::Present => "Present",
+            CarbonDioxideEra::Future => "Future, 2100 A.C.",
+        }
+    }
+}
+
+impl fmt::Display for CarbonDioxideEra {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (Ci = {} µmol/mol)", self.label(), self.ci())
+    }
+}
+
+/// Maximum triose-phosphate (PGA, GAP, DHAP) export rate from the stroma.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TriosePhosphateExport {
+    /// Low export capacity: 1 mmol l⁻¹ s⁻¹ (the paper's solid lines).
+    Low,
+    /// High export capacity: 3 mmol l⁻¹ s⁻¹ (the paper's dashed lines).
+    High,
+}
+
+impl TriosePhosphateExport {
+    /// Both export regimes.
+    pub const ALL: [TriosePhosphateExport; 2] =
+        [TriosePhosphateExport::Low, TriosePhosphateExport::High];
+
+    /// Export limit in mmol l⁻¹ s⁻¹.
+    pub fn rate(self) -> f64 {
+        match self {
+            TriosePhosphateExport::Low => 1.0,
+            TriosePhosphateExport::High => 3.0,
+        }
+    }
+
+    /// The corresponding ceiling on net CO₂ uptake in µmol m⁻² s⁻¹ used by the
+    /// surrogate model (each exported triose phosphate carries three fixed
+    /// carbons; the conversion from volumetric to leaf-area units is part of
+    /// the calibration described in `DESIGN.md`).
+    pub fn uptake_ceiling(self) -> f64 {
+        match self {
+            TriosePhosphateExport::Low => 28.0,
+            TriosePhosphateExport::High => 55.0,
+        }
+    }
+}
+
+impl fmt::Display for TriosePhosphateExport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "triose-P export {} mmol/l/s", self.rate())
+    }
+}
+
+/// A complete environmental scenario: CO₂ era plus triose-phosphate export
+/// regime. The paper's Figure 1 shows Pareto fronts for all six combinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scenario {
+    /// Atmospheric CO₂ era.
+    pub era: CarbonDioxideEra,
+    /// Triose-phosphate export regime.
+    pub export: TriosePhosphateExport,
+}
+
+impl Scenario {
+    /// Creates a scenario.
+    pub fn new(era: CarbonDioxideEra, export: TriosePhosphateExport) -> Self {
+        Scenario { era, export }
+    }
+
+    /// The paper's reference condition: present-day CO₂ with low export.
+    pub fn present_low_export() -> Self {
+        Scenario::new(CarbonDioxideEra::Present, TriosePhosphateExport::Low)
+    }
+
+    /// The condition used for the paper's Table 1 comparison: present-day CO₂
+    /// with the high (3 mmol l⁻¹ s⁻¹) export rate.
+    pub fn present_high_export() -> Self {
+        Scenario::new(CarbonDioxideEra::Present, TriosePhosphateExport::High)
+    }
+
+    /// All six scenarios of Figure 1, eras outermost.
+    pub fn all() -> Vec<Scenario> {
+        let mut scenarios = Vec::with_capacity(6);
+        for era in CarbonDioxideEra::ALL {
+            for export in TriosePhosphateExport::ALL {
+                scenarios.push(Scenario::new(era, export));
+            }
+        }
+        scenarios
+    }
+
+    /// Intercellular CO₂ in µmol/mol.
+    pub fn ci(&self) -> f64 {
+        self.era.ci()
+    }
+
+    /// Ambient O₂ in mmol/mol (constant 210 across scenarios).
+    pub fn o2(&self) -> f64 {
+        210.0
+    }
+
+    /// Natural-leaf CO₂ uptake reported by the paper for the present-day,
+    /// low-export operating point (µmol m⁻² s⁻¹).
+    pub const NATURAL_UPTAKE: f64 = 15.486;
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}, {}", self.era, self.export)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn era_ci_values_match_the_paper() {
+        assert_eq!(CarbonDioxideEra::Past.ci(), 165.0);
+        assert_eq!(CarbonDioxideEra::Present.ci(), 270.0);
+        assert_eq!(CarbonDioxideEra::Future.ci(), 490.0);
+    }
+
+    #[test]
+    fn export_rates_match_the_paper() {
+        assert_eq!(TriosePhosphateExport::Low.rate(), 1.0);
+        assert_eq!(TriosePhosphateExport::High.rate(), 3.0);
+        assert!(TriosePhosphateExport::Low.uptake_ceiling() < TriosePhosphateExport::High.uptake_ceiling());
+    }
+
+    #[test]
+    fn there_are_six_scenarios() {
+        let all = Scenario::all();
+        assert_eq!(all.len(), 6);
+        let unique: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(unique.len(), 6);
+    }
+
+    #[test]
+    fn reference_scenarios() {
+        let reference = Scenario::present_low_export();
+        assert_eq!(reference.ci(), 270.0);
+        assert_eq!(reference.export.rate(), 1.0);
+        let table1 = Scenario::present_high_export();
+        assert_eq!(table1.export.rate(), 3.0);
+        assert_eq!(reference.o2(), 210.0);
+    }
+
+    #[test]
+    fn display_mentions_ci_and_export() {
+        let s = format!("{}", Scenario::present_low_export());
+        assert!(s.contains("270"));
+        assert!(s.contains('1'));
+    }
+}

@@ -1,0 +1,68 @@
+//! Leaf redesign across all six environmental scenarios (three CO₂ eras ×
+//! two triose-phosphate export regimes), the setting of the paper's Figure 1,
+//! plus the per-enzyme re-engineering ratios of Figure 2.
+//!
+//! Run with: `cargo run --release --example leaf_redesign`
+
+use pathway_core::prelude::*;
+use pathway_core::render_table;
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut reference_outcome = None;
+
+    for (index, scenario) in Scenario::all().into_iter().enumerate() {
+        let study = LeafDesignStudy::new(scenario)
+            .with_budget(50, 120)
+            .with_migration(40, 0.5);
+        let outcome = study.run(100 + index as u64);
+        let max_uptake = outcome.max_uptake().clone();
+        let min_nitrogen = outcome.min_nitrogen().clone();
+        rows.push(vec![
+            scenario.to_string(),
+            outcome.front.len().to_string(),
+            format!("{:.2}", max_uptake.uptake),
+            format!("{:.0}", max_uptake.nitrogen),
+            format!("{:.2}", min_nitrogen.uptake),
+            format!("{:.0}", min_nitrogen.nitrogen),
+        ]);
+        if scenario == Scenario::present_low_export() {
+            reference_outcome = Some(outcome);
+        }
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Scenario",
+                "Front size",
+                "Max uptake",
+                "N at max uptake",
+                "Uptake at min N",
+                "Min nitrogen",
+            ],
+            &rows
+        )
+    );
+
+    // Figure 2: the candidate-B enzyme ratios for the reference scenario.
+    if let Some(outcome) = reference_outcome {
+        if let Some(candidate_b) = outcome.candidate_b(1.0) {
+            println!(
+                "candidate B: uptake {:.2} µmol/m²/s using {:.0} mg/l nitrogen ({:.0}% of natural)",
+                candidate_b.uptake,
+                candidate_b.nitrogen,
+                100.0 * candidate_b.nitrogen / EnzymePartition::NATURAL_NITROGEN
+            );
+            println!("per-enzyme capacity relative to the natural leaf:");
+            let ratios = candidate_b.partition.ratio_to_natural();
+            for (kind, ratio) in EnzymeKind::ALL.iter().zip(ratios) {
+                let bar_length = (ratio * 20.0).round().clamp(0.0, 60.0) as usize;
+                println!("  {:<24} {:>6.2}  {}", kind.name(), ratio, "#".repeat(bar_length));
+            }
+        } else {
+            println!("no candidate matched the natural uptake in this budget; increase generations");
+        }
+    }
+}

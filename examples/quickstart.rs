@@ -1,0 +1,60 @@
+//! Quickstart: optimize the present-day leaf, mine the front, check robustness.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pathway_core::prelude::*;
+use pathway_core::{render_table, SelectionRow};
+
+fn main() {
+    // A small but representative study: 2 NSGA-II islands, broadcast
+    // migration, present-day CO2 with the low triose-phosphate export rate.
+    let study = LeafDesignStudy::new(Scenario::present_low_export())
+        .with_budget(60, 150)
+        .with_migration(50, 0.5)
+        .with_robustness_trials(1_000);
+    let outcome = study.run(42);
+
+    println!(
+        "PMO2 found {} Pareto-optimal leaf designs ({} evaluations)",
+        outcome.front.len(),
+        outcome.evaluations
+    );
+    println!(
+        "natural leaf: uptake {:.3} µmol/m²/s at {:.0} mg/l nitrogen",
+        Scenario::NATURAL_UPTAKE,
+        EnzymePartition::NATURAL_NITROGEN
+    );
+
+    let selected = outcome.selected_designs(study.robustness_trials(), 20);
+    let rows = vec![
+        ("Closest-to-ideal", &selected.closest_to_ideal),
+        ("Max CO2 Uptake", &selected.max_uptake),
+        ("Min Nitrogen", &selected.min_nitrogen),
+        ("Max Yield", &selected.max_yield),
+    ];
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(name, (design, yield_percent))| {
+            SelectionRow {
+                selection: name.to_string(),
+                co2_uptake: design.uptake,
+                nitrogen: design.nitrogen,
+                yield_percent: *yield_percent,
+            }
+            .cells()
+        })
+        .collect();
+    println!();
+    println!(
+        "{}",
+        render_table(&["Selection", "CO2 Uptake", "Nitrogen", "Yield %"], &table_rows)
+    );
+
+    if let Some(candidate_b) = outcome.candidate_b(1.0) {
+        println!(
+            "candidate B keeps the natural uptake ({:.2}) at {:.0}% of the natural nitrogen",
+            candidate_b.uptake,
+            100.0 * candidate_b.nitrogen / EnzymePartition::NATURAL_NITROGEN
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Cross-crate integration tests: the photosynthesis substrate viewed through
+//! the public `pathway-core` API, and consistency between the analytic and the
+//! ODE-based evaluators.
+
+use pathway_core::prelude::*;
+use pathway_photosynthesis::OdeUptakeEvaluator;
+
+#[test]
+fn analytic_and_ode_evaluators_agree_qualitatively() {
+    let scenario = Scenario::present_low_export();
+    let analytic = UptakeModel::new();
+    let ode = OdeUptakeEvaluator::fast();
+
+    let natural = EnzymePartition::natural();
+    let starved = natural.with_scaled(EnzymeKind::Rubisco, 0.1);
+
+    let analytic_natural = analytic.co2_uptake(&natural, &scenario);
+    let analytic_starved = analytic.co2_uptake(&starved, &scenario);
+    let ode_natural = ode
+        .co2_uptake(&natural, &scenario)
+        .expect("natural leaf settles");
+    let ode_starved = ode
+        .co2_uptake(&starved, &scenario)
+        .expect("starved leaf settles");
+
+    // Both evaluators agree that cutting Rubisco to 10% collapses uptake.
+    assert!(analytic_starved < 0.5 * analytic_natural);
+    assert!(ode_starved < 0.7 * ode_natural);
+    // And both report positive uptake for the natural leaf.
+    assert!(analytic_natural > 0.0 && ode_natural > 0.0);
+}
+
+#[test]
+fn problem_objectives_are_consistent_with_the_substrate() {
+    use pathway_moo::MultiObjectiveProblem;
+    let scenario = Scenario::present_high_export();
+    let problem = LeafRedesignProblem::new(scenario);
+    let partition = EnzymePartition::natural().scaled(1.5);
+    let objectives = problem.evaluate(partition.capacities());
+    let direct_uptake = UptakeModel::new().co2_uptake(&partition, &scenario);
+    assert!((objectives[0] + direct_uptake).abs() < 1e-9);
+    assert!((objectives[1] - partition.total_nitrogen()).abs() < 1e-9);
+}
+
+#[test]
+fn co2_fertilisation_shows_up_in_every_layer() {
+    let model = UptakeModel::new();
+    let natural = EnzymePartition::natural();
+    let mut uptakes = Vec::new();
+    for era in CarbonDioxideEra::ALL {
+        let scenario = Scenario::new(era, TriosePhosphateExport::Low);
+        uptakes.push(model.co2_uptake(&natural, &scenario));
+    }
+    assert!(uptakes[0] < uptakes[1] && uptakes[1] < uptakes[2]);
+}
+
+#[test]
+fn nitrogen_accounting_matches_the_papers_operating_point() {
+    let natural = EnzymePartition::natural();
+    assert!((natural.total_nitrogen() - EnzymePartition::NATURAL_NITROGEN).abs() < 1.0);
+    // Rubisco is the dominant nitrogen sink, consistent with its role as the
+    // nitrogen reservoir the paper discusses.
+    let breakdown = natural.nitrogen_breakdown();
+    let rubisco_share = breakdown[EnzymeKind::Rubisco.index()] / natural.total_nitrogen();
+    assert!(rubisco_share > 0.4 && rubisco_share < 0.8);
+}
+
+#[test]
+fn uptake_model_soft_minimum_respects_every_ceiling() {
+    let model = UptakeModel::new();
+    let generous = EnzymePartition::natural().scaled(4.0);
+    for scenario in Scenario::all() {
+        let result = model.evaluate(&generous, &scenario);
+        assert!(result.co2_uptake <= model.electron_transport_ceiling + 1e-9);
+        assert!(result.co2_uptake <= scenario.export.uptake_ceiling() + 1e-9);
+    }
+}
