@@ -9,22 +9,26 @@ fn bench_archipelago_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("archipelago_scaling");
     group.sample_size(10);
     for &islands in &[1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(islands), &islands, |b, &islands| {
-            b.iter(|| {
-                let config = ArchipelagoConfig {
-                    islands,
-                    island_config: Nsga2Config {
-                        population_size: 24,
-                        generations: 20,
-                        ..Default::default()
-                    },
-                    migration_interval: 10,
-                    migration_probability: 0.5,
-                    topology: MigrationTopology::Broadcast,
-                };
-                Archipelago::new(config, 3).run(&problem).len()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(islands),
+            &islands,
+            |b, &islands| {
+                b.iter(|| {
+                    let config = ArchipelagoConfig {
+                        islands,
+                        island_config: Nsga2Config {
+                            population_size: 24,
+                            generations: 20,
+                            ..Default::default()
+                        },
+                        migration_interval: 10,
+                        migration_probability: 0.5,
+                        topology: MigrationTopology::Broadcast,
+                    };
+                    Archipelago::new(config, 3).run(&problem).len()
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -21,7 +21,12 @@ fn run_with_topology(topology: MigrationTopology, problem: &LeafRedesignProblem)
     let matrix: Vec<Vec<f64>> = front.iter().map(|i| i.objectives.clone()).collect();
     let normalized: Vec<Vec<f64>> = matrix
         .iter()
-        .map(|p| vec![p[0] / 45.0 + 1.0, p[1] / (4.0 * EnzymePartition::NATURAL_NITROGEN)])
+        .map(|p| {
+            vec![
+                p[0] / 45.0 + 1.0,
+                p[1] / (4.0 * EnzymePartition::NATURAL_NITROGEN),
+            ]
+        })
         .collect();
     hypervolume(&normalized, &[1.0, 1.0])
 }
@@ -35,9 +40,13 @@ fn bench_migration_ablation(c: &mut Criterion) {
         ("ring", MigrationTopology::Ring),
         ("isolated", MigrationTopology::Isolated),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &topology, |b, &topology| {
-            b.iter(|| run_with_topology(topology, &problem));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &topology,
+            |b, &topology| {
+                b.iter(|| run_with_topology(topology, &problem));
+            },
+        );
     }
     group.finish();
 }

@@ -10,15 +10,20 @@ fn bench_robustness(c: &mut Criterion) {
     let mut group = c.benchmark_group("robustness_ensemble");
     group.sample_size(10);
     for &trials in &[500usize, 1_000, 5_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(trials), &trials, |b, &trials| {
-            let options = RobustnessOptions {
-                global_trials: trials,
-                ..Default::default()
-            };
-            b.iter(|| {
-                global_yield(natural.capacities(), |x| problem.uptake(x), &options).yield_fraction
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(trials),
+            &trials,
+            |b, &trials| {
+                let options = RobustnessOptions {
+                    global_trials: trials,
+                    ..Default::default()
+                };
+                b.iter(|| {
+                    global_yield(natural.capacities(), |x| problem.uptake(x), &options)
+                        .yield_fraction
+                });
+            },
+        );
     }
     group.finish();
 }

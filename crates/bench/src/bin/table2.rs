@@ -44,9 +44,6 @@ fn main() {
     );
     println!(
         "{}",
-        render_table(
-            &["Selection", "CO2 Uptake", "Nitrogen", "Yield %"],
-            &cells
-        )
+        render_table(&["Selection", "CO2 Uptake", "Nitrogen", "Yield %"], &cells)
     );
 }

@@ -65,7 +65,11 @@ impl LeafDesignOutcome {
     pub fn min_nitrogen(&self) -> &LeafDesign {
         self.front
             .iter()
-            .min_by(|a, b| a.nitrogen.partial_cmp(&b.nitrogen).expect("nitrogen is finite"))
+            .min_by(|a, b| {
+                a.nitrogen
+                    .partial_cmp(&b.nitrogen)
+                    .expect("nitrogen is finite")
+            })
             .expect("the front is non-empty")
     }
 
@@ -92,7 +96,11 @@ impl LeafDesignOutcome {
         self.front
             .iter()
             .filter(|d| d.uptake >= target)
-            .min_by(|a, b| a.nitrogen.partial_cmp(&b.nitrogen).expect("nitrogen is finite"))
+            .min_by(|a, b| {
+                a.nitrogen
+                    .partial_cmp(&b.nitrogen)
+                    .expect("nitrogen is finite")
+            })
     }
 
     /// `count` designs spread equally along the front (by uptake), the set the
@@ -391,7 +399,11 @@ mod tests {
     #[test]
     fn study_produces_a_trade_off_front() {
         let outcome = quick_study().run(3);
-        assert!(outcome.front.len() >= 5, "front only had {} designs", outcome.front.len());
+        assert!(
+            outcome.front.len() >= 5,
+            "front only had {} designs",
+            outcome.front.len()
+        );
         let max_uptake = outcome.max_uptake();
         let min_nitrogen = outcome.min_nitrogen();
         assert!(max_uptake.uptake > min_nitrogen.uptake);

@@ -212,12 +212,10 @@ mod tests {
         assert_eq!(problem.num_variables(), 200);
     }
 
-    /// The full 608-reaction problem takes minutes of simplex time in debug
-    /// builds, so it only runs when explicitly requested
-    /// (`cargo test -- --ignored`); the Figure 4 experiment binary exercises
-    /// it in release mode.
+    /// The full 608-reaction problem of Figure 4. The workspace builds
+    /// `pathway-linalg`/`pathway-fba` with `opt-level = 2` even in dev, so
+    /// the simplex solve finishes in a few seconds under `cargo test`.
     #[test]
-    #[ignore = "paper-scale FBA is slow in debug builds"]
     fn paper_scale_problem_has_608_variables() {
         let model = GeobacterModel::builder().reactions(608).build();
         let problem = GeobacterFluxProblem::new(&model).expect("paper-scale model is feasible");

@@ -27,7 +27,10 @@ impl fmt::Display for FbaError {
             FbaError::InvalidModel(msg) => write!(f, "invalid metabolic model: {msg}"),
             FbaError::Linear(err) => write!(f, "linear programming failure: {err}"),
             FbaError::DimensionMismatch { expected, found } => {
-                write!(f, "flux vector length {found} does not match {expected} reactions")
+                write!(
+                    f,
+                    "flux vector length {found} does not match {expected} reactions"
+                )
             }
         }
     }

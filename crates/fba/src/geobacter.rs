@@ -60,7 +60,10 @@ impl GeobacterBuilder {
     /// room).
     #[must_use]
     pub fn reactions(mut self, reactions: usize) -> Self {
-        assert!(reactions >= 16, "the synthetic model needs at least 16 reactions");
+        assert!(
+            reactions >= 16,
+            "the synthetic model needs at least 16 reactions"
+        );
         self.reactions = reactions;
         self
     }
@@ -129,7 +132,12 @@ impl GeobacterBuilder {
         );
         let biomass = builder.add_reaction(
             "biomass",
-            &[(acetate, -20.0), (nh4, -1.0), (atp, -2.0), (biomass_ext, 1.0)],
+            &[
+                (acetate, -20.0),
+                (nh4, -1.0),
+                (atp, -2.0),
+                (biomass_ext, 1.0),
+            ],
             Bound::interval(0.0, 10.0),
         );
 
@@ -260,7 +268,9 @@ mod tests {
         let model = small_model();
         assert_eq!(model.model().num_reactions(), 96);
         assert!(model.model().num_metabolites() > 50);
-        let full = GeobacterModel::builder().reactions(GEOBACTER_REACTIONS).build();
+        let full = GeobacterModel::builder()
+            .reactions(GEOBACTER_REACTIONS)
+            .build();
         assert_eq!(full.model().num_reactions(), 608);
     }
 

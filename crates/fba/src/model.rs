@@ -174,7 +174,10 @@ impl MetabolicModelBuilder {
             "duplicate reaction id: {id}"
         );
         for &(m, _) in stoichiometry {
-            assert!(m < self.metabolites.len(), "metabolite index {m} out of range");
+            assert!(
+                m < self.metabolites.len(),
+                "metabolite index {m} out of range"
+            );
         }
         let index = self.reactions.len();
         self.reaction_index.insert(id.clone(), index);
@@ -258,13 +261,21 @@ pub(crate) mod test_models {
             &[(external, -1.0), (a, 1.0)],
             Bound::interval(0.0, 10.0),
         );
-        builder.add_reaction("convert", &[(a, -1.0), (b, 1.0)], Bound::interval(0.0, 10.0));
+        builder.add_reaction(
+            "convert",
+            &[(a, -1.0), (b, 1.0)],
+            Bound::interval(0.0, 10.0),
+        );
         builder.add_reaction(
             "biomass",
             &[(b, -1.0), (external, 1.0)],
             Bound::interval(0.0, 10.0),
         );
-        builder.add_reaction("leak", &[(a, -1.0), (external, 1.0)], Bound::interval(0.0, 1.0));
+        builder.add_reaction(
+            "leak",
+            &[(a, -1.0), (external, 1.0)],
+            Bound::interval(0.0, 1.0),
+        );
         builder.build().expect("toy model is valid")
     }
 }
@@ -313,7 +324,10 @@ mod tests {
         let mut only_boundary = MetabolicModel::builder("boundary-only");
         let x = only_boundary.add_metabolite("X", true);
         only_boundary.add_reaction("r", &[(x, 1.0)], Bound::non_negative());
-        assert!(matches!(only_boundary.build(), Err(FbaError::InvalidModel(_))));
+        assert!(matches!(
+            only_boundary.build(),
+            Err(FbaError::InvalidModel(_))
+        ));
     }
 
     #[test]

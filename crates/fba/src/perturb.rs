@@ -52,8 +52,16 @@ impl FluxPerturbation {
             .flux_bounds()
             .into_iter()
             .map(|b| {
-                let lower = if b.lower.is_finite() { b.lower } else { -self.absolute * 100.0 };
-                let upper = if b.upper.is_finite() { b.upper } else { self.absolute * 100.0 };
+                let lower = if b.lower.is_finite() {
+                    b.lower
+                } else {
+                    -self.absolute * 100.0
+                };
+                let upper = if b.upper.is_finite() {
+                    b.upper
+                } else {
+                    self.absolute * 100.0
+                };
                 if (upper - lower).abs() < f64::EPSILON {
                     lower
                 } else {
@@ -192,7 +200,10 @@ mod tests {
         let mut fluxes = vec![9.0, 1.0, 0.0, 0.0];
         let before = steady_state_violation(&model, &fluxes).unwrap();
         let after = repair.repair(&model, &mut fluxes).unwrap();
-        assert!(after < before, "repair did not reduce the violation ({before} -> {after})");
+        assert!(
+            after < before,
+            "repair did not reduce the violation ({before} -> {after})"
+        );
     }
 
     #[test]

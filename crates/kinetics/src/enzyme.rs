@@ -82,7 +82,11 @@ impl Enzyme {
     /// # Panics
     ///
     /// Panics if `molecular_weight` is not strictly positive and finite.
-    pub fn new(name: impl Into<String>, constants: KineticConstants, molecular_weight: f64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        constants: KineticConstants,
+        molecular_weight: f64,
+    ) -> Self {
         assert!(
             molecular_weight.is_finite() && molecular_weight > 0.0,
             "molecular weight must be positive"
@@ -193,8 +197,8 @@ mod tests {
 
     #[test]
     fn nitrogen_fraction_override() {
-        let e = Enzyme::new("x", KineticConstants::new(1.0, 1.0), 1000.0)
-            .with_nitrogen_fraction(0.5);
+        let e =
+            Enzyme::new("x", KineticConstants::new(1.0, 1.0), 1000.0).with_nitrogen_fraction(0.5);
         assert_eq!(e.nitrogen_fraction(), 0.5);
         assert!((e.nitrogen_per_catalytic_unit() - 500.0).abs() < 1e-12);
     }
@@ -202,8 +206,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "nitrogen fraction must be in (0, 1]")]
     fn invalid_nitrogen_fraction_panics() {
-        let _ = Enzyme::new("x", KineticConstants::new(1.0, 1.0), 1000.0)
-            .with_nitrogen_fraction(1.5);
+        let _ =
+            Enzyme::new("x", KineticConstants::new(1.0, 1.0), 1000.0).with_nitrogen_fraction(1.5);
     }
 
     #[test]

@@ -83,7 +83,10 @@ impl ReactionNetwork {
         reversible: bool,
     ) -> usize {
         for &(m, _) in stoichiometry {
-            assert!(m < self.metabolites.len(), "metabolite index {m} out of range");
+            assert!(
+                m < self.metabolites.len(),
+                "metabolite index {m} out of range"
+            );
         }
         let index = self.reactions.len();
         self.reactions.push(Reaction {
@@ -219,7 +222,10 @@ mod tests {
         let network = toy_network();
         // Carbon content: CO2 = 1, RuBP = 5, PGA = 3 → -5 - 1 + 2*3 = 0.
         let balanced = network
-            .is_balanced("carboxylation", &[("CO2", 1.0), ("RuBP", 5.0), ("PGA", 3.0)])
+            .is_balanced(
+                "carboxylation",
+                &[("CO2", 1.0), ("RuBP", 5.0), ("PGA", 3.0)],
+            )
             .unwrap();
         assert!(balanced);
         // The lumped regeneration reaction is carbon balanced but not

@@ -150,8 +150,14 @@ mod tests {
 
     #[test]
     fn two_substrate_rate_needs_both_substrates() {
-        assert_eq!(michaelis_menten_two_substrates(10.0, 1.0, 0.0, 1.0, 5.0), 0.0);
-        assert_eq!(michaelis_menten_two_substrates(10.0, 1.0, 5.0, 1.0, 0.0), 0.0);
+        assert_eq!(
+            michaelis_menten_two_substrates(10.0, 1.0, 0.0, 1.0, 5.0),
+            0.0
+        );
+        assert_eq!(
+            michaelis_menten_two_substrates(10.0, 1.0, 5.0, 1.0, 0.0),
+            0.0
+        );
         let v = michaelis_menten_two_substrates(10.0, 1.0, 100.0, 1.0, 100.0);
         assert!(v > 9.5);
     }

@@ -86,8 +86,14 @@ mod tests {
             LinalgError::SingularMatrix { pivot: 2 }.to_string(),
             "matrix is singular at pivot column 2"
         );
-        assert_eq!(LinalgError::Infeasible.to_string(), "linear program is infeasible");
-        assert_eq!(LinalgError::Unbounded.to_string(), "linear program is unbounded");
+        assert_eq!(
+            LinalgError::Infeasible.to_string(),
+            "linear program is infeasible"
+        );
+        assert_eq!(
+            LinalgError::Unbounded.to_string(),
+            "linear program is unbounded"
+        );
     }
 
     #[test]

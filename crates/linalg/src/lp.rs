@@ -330,10 +330,22 @@ mod tests {
     fn set_bound_rejects_nan_and_inverted() {
         let mut lp = LinearProgram::new(1, Objective::Minimize);
         assert!(lp
-            .set_bound(0, Bound { lower: f64::NAN, upper: 1.0 })
+            .set_bound(
+                0,
+                Bound {
+                    lower: f64::NAN,
+                    upper: 1.0
+                }
+            )
             .is_err());
         assert!(lp
-            .set_bound(0, Bound { lower: 2.0, upper: 1.0 })
+            .set_bound(
+                0,
+                Bound {
+                    lower: 2.0,
+                    upper: 1.0
+                }
+            )
             .is_err());
     }
 

@@ -102,6 +102,36 @@ impl LuDecomposition {
         self.lu.rows()
     }
 
+    /// The unit lower-triangular factor `L` as a dense matrix.
+    pub fn l(&self) -> Matrix {
+        let n = self.dim();
+        let mut l = Matrix::identity(n);
+        for r in 1..n {
+            for c in 0..r {
+                l[(r, c)] = self.lu[(r, c)];
+            }
+        }
+        l
+    }
+
+    /// The upper-triangular factor `U` as a dense matrix.
+    pub fn u(&self) -> Matrix {
+        let n = self.dim();
+        let mut u = Matrix::zeros(n, n);
+        for r in 0..n {
+            for c in r..n {
+                u[(r, c)] = self.lu[(r, c)];
+            }
+        }
+        u
+    }
+
+    /// The row permutation of `P A = L U`: row `i` of `L U` corresponds to
+    /// row `permutation()[i]` of the original matrix.
+    pub fn permutation(&self) -> &[usize] {
+        &self.perm
+    }
+
     /// Solves `A x = b` using the stored factorization.
     ///
     /// # Errors
@@ -187,7 +217,11 @@ mod tests {
     #[test]
     fn pivoting_handles_zero_leading_entry() {
         let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
-        let x = a.lu().unwrap().solve(&Vector::from(vec![2.0, 3.0])).unwrap();
+        let x = a
+            .lu()
+            .unwrap()
+            .solve(&Vector::from(vec![2.0, 3.0]))
+            .unwrap();
         assert!((x[0] - 3.0).abs() < 1e-14);
         assert!((x[1] - 2.0).abs() < 1e-14);
     }
@@ -201,10 +235,7 @@ mod tests {
     #[test]
     fn non_square_matrix_is_rejected() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(
-            a.lu(),
-            Err(LinalgError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(a.lu(), Err(LinalgError::DimensionMismatch { .. })));
     }
 
     #[test]

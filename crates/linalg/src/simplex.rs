@@ -201,8 +201,13 @@ pub fn solve_with_options(
             .map(|j| if tableau.artificial[j] { 1.0 } else { 0.0 })
             .collect();
         let no_ban = vec![false; ncols];
-        let phase1_value =
-            run_phase(&mut tableau, &phase1_cost, &no_ban, options, &mut iterations)?;
+        let phase1_value = run_phase(
+            &mut tableau,
+            &phase1_cost,
+            &no_ban,
+            options,
+            &mut iterations,
+        )?;
         if phase1_value > 1e-6 {
             return Err(LinalgError::Infeasible);
         }
@@ -213,13 +218,19 @@ pub fn solve_with_options(
     let mut phase2_cost = vec![0.0; ncols];
     phase2_cost[..num_y].copy_from_slice(&cost[..num_y]);
     // Artificial columns must never re-enter the basis.
-    for j in 0..ncols {
-        if tableau.artificial[j] {
-            phase2_cost[j] = 0.0;
+    for (coefficient, &is_artificial) in phase2_cost.iter_mut().zip(&tableau.artificial) {
+        if is_artificial {
+            *coefficient = 0.0;
         }
     }
     let banned = tableau.artificial.clone();
-    run_phase(&mut tableau, &phase2_cost, &banned, options, &mut iterations)?;
+    run_phase(
+        &mut tableau,
+        &phase2_cost,
+        &banned,
+        options,
+        &mut iterations,
+    )?;
 
     // ---- 7. Read the solution back in the original variable space. ----
     let mut y = vec![0.0; ncols];
@@ -339,7 +350,6 @@ fn run_phase(
 ) -> crate::Result<f64> {
     let tol = options.tolerance;
     let m = tableau.rows.len();
-    let ncols = tableau.ncols;
 
     // Reduced cost row: z_j = cost_j - sum_i cost[basis_i] * T[i][j]
     let mut reduced = cost.to_vec();
@@ -347,8 +357,8 @@ fn run_phase(
     for i in 0..m {
         let cb = cost[tableau.basis[i]];
         if cb != 0.0 {
-            for j in 0..ncols {
-                reduced[j] -= cb * tableau.rows[i][j];
+            for (r, &t_ij) in reduced.iter_mut().zip(&tableau.rows[i]) {
+                *r -= cb * t_ij;
             }
             objective += cb * tableau.rhs[i];
         }
@@ -393,7 +403,9 @@ fn run_phase(
                 let ratio = tableau.rhs[i] / a;
                 let better = ratio < best_ratio - tol
                     || ((ratio - best_ratio).abs() <= tol
-                        && leave.map(|l| tableau.basis[i] < tableau.basis[l]).unwrap_or(true));
+                        && leave
+                            .map(|l| tableau.basis[i] < tableau.basis[l])
+                            .unwrap_or(true));
                 if better {
                     best_ratio = ratio;
                     leave = Some(i);
@@ -445,8 +457,8 @@ fn pivot(
     // ... and from the reduced-cost row.
     let factor = reduced[pivot_col];
     if factor != 0.0 {
-        for j in 0..ncols {
-            reduced[j] -= factor * tableau.rows[pivot_row][j];
+        for (r, &t_pj) in reduced.iter_mut().zip(&tableau.rows[pivot_row]) {
+            *r -= factor * t_pj;
         }
         // The phase objective changes by (reduced cost of the entering column)
         // times the step length, which is the normalized pivot-row rhs.
@@ -513,8 +525,10 @@ mod tests {
         lp.set_objective_coefficient(0, 2.0).unwrap();
         lp.set_objective_coefficient(1, 3.0).unwrap();
         lp.add_greater_eq(&[(0, 1.0), (1, 1.0)], 10.0).unwrap();
-        lp.set_bound(0, Bound::interval(2.0, f64::INFINITY)).unwrap();
-        lp.set_bound(1, Bound::interval(3.0, f64::INFINITY)).unwrap();
+        lp.set_bound(0, Bound::interval(2.0, f64::INFINITY))
+            .unwrap();
+        lp.set_bound(1, Bound::interval(3.0, f64::INFINITY))
+            .unwrap();
         let sol = solve(&lp).unwrap();
         // Optimal: push the cheap variable x as high as needed: x = 7, y = 3.
         assert!((sol.objective_value - 23.0).abs() < 1e-8);
@@ -673,13 +687,15 @@ mod tests {
             lp.set_objective_coefficient(k, c).unwrap();
         }
         for (i, &s) in supplies.iter().enumerate() {
-            let row: Vec<(usize, f64)> =
-                (0..demands.len()).map(|j| (i * demands.len() + j, 1.0)).collect();
+            let row: Vec<(usize, f64)> = (0..demands.len())
+                .map(|j| (i * demands.len() + j, 1.0))
+                .collect();
             lp.add_less_eq(&row, s).unwrap();
         }
         for (j, &d) in demands.iter().enumerate() {
-            let col: Vec<(usize, f64)> =
-                (0..supplies.len()).map(|i| (i * demands.len() + j, 1.0)).collect();
+            let col: Vec<(usize, f64)> = (0..supplies.len())
+                .map(|i| (i * demands.len() + j, 1.0))
+                .collect();
             lp.add_greater_eq(&col, d).unwrap();
         }
         let sol = solve(&lp).unwrap();

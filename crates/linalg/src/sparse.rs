@@ -48,10 +48,16 @@ impl CsrMatrix {
     ) -> crate::Result<Self> {
         for &(r, c, _) in triplets {
             if r >= rows {
-                return Err(LinalgError::IndexOutOfBounds { index: r, len: rows });
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: r,
+                    len: rows,
+                });
             }
             if c >= cols {
-                return Err(LinalgError::IndexOutOfBounds { index: c, len: cols });
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: c,
+                    len: cols,
+                });
             }
         }
         // Accumulate into per-row maps to merge duplicates deterministically.
@@ -193,8 +199,7 @@ mod tests {
 
     #[test]
     fn from_triplets_and_get() {
-        let m =
-            CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap();
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap();
         assert_eq!(m.get(0, 0), 1.0);
         assert_eq!(m.get(0, 1), 0.0);
         assert_eq!(m.get(0, 2), 2.0);

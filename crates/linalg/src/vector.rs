@@ -27,12 +27,16 @@ pub struct Vector {
 impl Vector {
     /// Creates a vector of `len` zeros.
     pub fn zeros(len: usize) -> Self {
-        Vector { data: vec![0.0; len] }
+        Vector {
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a vector of `len` copies of `value`.
     pub fn filled(len: usize, value: f64) -> Self {
-        Vector { data: vec![value; len] }
+        Vector {
+            data: vec![value; len],
+        }
     }
 
     /// Number of elements.
@@ -202,7 +206,9 @@ impl From<Vec<f64>> for Vector {
 
 impl From<&[f64]> for Vector {
     fn from(data: &[f64]) -> Self {
-        Vector { data: data.to_vec() }
+        Vector {
+            data: data.to_vec(),
+        }
     }
 }
 

@@ -125,10 +125,10 @@ impl Archipelago {
                 .min(total_generations - generations_done);
 
             // Evolve every island for one epoch, in parallel.
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for island in islands.iter_mut() {
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         for _ in 0..epoch {
                             island.step(problem);
                         }
@@ -137,8 +137,7 @@ impl Archipelago {
                 for handle in handles {
                     handle.join().expect("island thread must not panic");
                 }
-            })
-            .expect("crossbeam scope must not fail");
+            });
             generations_done += epoch;
 
             if generations_done < total_generations {
@@ -178,7 +177,7 @@ impl Archipelago {
             .collect();
 
         let n = islands.len();
-        for source in 0..n {
+        for (source, export) in exports.iter().enumerate() {
             if !rng.gen_bool(self.config.migration_probability.clamp(0.0, 1.0)) {
                 continue;
             }
@@ -190,7 +189,7 @@ impl Archipelago {
             for target in targets {
                 let mut population: Vec<Individual> =
                     islands[target].population().clone().into_iter().collect();
-                population.extend(exports[source].iter().cloned());
+                population.extend(export.iter().cloned());
                 islands[target].set_population(Population::from(population));
             }
         }
@@ -266,11 +265,17 @@ mod tests {
             let with_migration = Archipelago::new(base, seed).run(&problem);
             let without = Archipelago::new(isolated, seed).run(&problem);
             hv_migration += metrics::hypervolume(
-                &with_migration.iter().map(|i| i.objectives.clone()).collect::<Vec<_>>(),
+                &with_migration
+                    .iter()
+                    .map(|i| i.objectives.clone())
+                    .collect::<Vec<_>>(),
                 &reference,
             );
             hv_isolated += metrics::hypervolume(
-                &without.iter().map(|i| i.objectives.clone()).collect::<Vec<_>>(),
+                &without
+                    .iter()
+                    .map(|i| i.objectives.clone())
+                    .collect::<Vec<_>>(),
                 &reference,
             );
         }

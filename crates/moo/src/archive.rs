@@ -72,11 +72,9 @@ impl ParetoArchive {
         if candidate.violation > 0.0 {
             return false;
         }
-        if self
-            .members
-            .iter()
-            .any(|m| dominates(&m.objectives, &candidate.objectives) || m.objectives == candidate.objectives)
-        {
+        if self.members.iter().any(|m| {
+            dominates(&m.objectives, &candidate.objectives) || m.objectives == candidate.objectives
+        }) {
             return false;
         }
         self.members

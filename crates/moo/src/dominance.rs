@@ -8,7 +8,11 @@ use crate::Individual;
 ///
 /// Panics if the two vectors have different lengths.
 pub fn dominates(a: &[f64], b: &[f64]) -> bool {
-    assert_eq!(a.len(), b.len(), "objective vectors must have the same length");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "objective vectors must have the same length"
+    );
     let mut strictly_better = false;
     for (&ai, &bi) in a.iter().zip(b.iter()) {
         if ai > bi {

@@ -65,13 +65,17 @@ pub struct Population {
 impl Population {
     /// Creates an empty population.
     pub fn new() -> Self {
-        Population { members: Vec::new() }
+        Population {
+            members: Vec::new(),
+        }
     }
 
     /// Creates a population of `size` random individuals.
     pub fn random<P: MultiObjectiveProblem, R: Rng>(problem: &P, size: usize, rng: &mut R) -> Self {
         Population {
-            members: (0..size).map(|_| Individual::random(problem, rng)).collect(),
+            members: (0..size)
+                .map(|_| Individual::random(problem, rng))
+                .collect(),
         }
     }
 

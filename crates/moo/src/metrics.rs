@@ -41,7 +41,11 @@ pub fn hypervolume(front: &[Vec<f64>], reference: &[f64]) -> f64 {
         "hypervolume supports 2 or 3 objectives, got {dim}"
     );
     for point in front {
-        assert_eq!(point.len(), dim, "front points must match the reference length");
+        assert_eq!(
+            point.len(),
+            dim,
+            "front points must match the reference length"
+        );
     }
     let nondominated: Vec<Vec<f64>> = nondominated_filter(front)
         .into_iter()
@@ -250,7 +254,10 @@ mod tests {
         // p1 = (0,0,1): box to ref (2,2,2) is 2*2*1 = 4
         // p2 = (1,1,0): box is 1*1*2 = 2
         // overlap: (max 0..2 etc) intersection is 1*1*1 = 1 → total 5.
-        let hv = hypervolume(&[vec![0.0, 0.0, 1.0], vec![1.0, 1.0, 0.0]], &[2.0, 2.0, 2.0]);
+        let hv = hypervolume(
+            &[vec![0.0, 0.0, 1.0], vec![1.0, 1.0, 0.0]],
+            &[2.0, 2.0, 2.0],
+        );
         assert!((hv - 5.0).abs() < 1e-9, "hv was {hv}");
     }
 
@@ -292,7 +299,12 @@ mod tests {
 
     #[test]
     fn spacing_is_zero_for_uniform_fronts() {
-        let uniform = vec![vec![0.0, 3.0], vec![1.0, 2.0], vec![2.0, 1.0], vec![3.0, 0.0]];
+        let uniform = vec![
+            vec![0.0, 3.0],
+            vec![1.0, 2.0],
+            vec![2.0, 1.0],
+            vec![3.0, 0.0],
+        ];
         assert!(spacing(&uniform) < 1e-12);
         let uneven = vec![vec![0.0, 3.0], vec![0.1, 2.9], vec![3.0, 0.0]];
         assert!(spacing(&uneven) > 0.1);
@@ -313,7 +325,10 @@ mod tests {
             inverted_generational_distance(&near, &reference)
                 < inverted_generational_distance(&far, &reference)
         );
-        assert_eq!(inverted_generational_distance(&[], &reference), f64::INFINITY);
+        assert_eq!(
+            inverted_generational_distance(&[], &reference),
+            f64::INFINITY
+        );
     }
 
     proptest! {

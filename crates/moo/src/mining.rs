@@ -30,12 +30,7 @@ pub fn pareto_relative_minimum(front: &[Vec<f64>]) -> Vec<f64> {
     }
     let dim = front[0].len();
     (0..dim)
-        .map(|m| {
-            front
-                .iter()
-                .map(|p| p[m])
-                .fold(f64::INFINITY, f64::min)
-        })
+        .map(|m| front.iter().map(|p| p[m]).fold(f64::INFINITY, f64::min))
         .collect()
 }
 
@@ -204,9 +199,7 @@ mod tests {
 
     #[test]
     fn equally_spaced_selects_spread_points() {
-        let front: Vec<Vec<f64>> = (0..101)
-            .map(|i| vec![i as f64, 100.0 - i as f64])
-            .collect();
+        let front: Vec<Vec<f64>> = (0..101).map(|i| vec![i as f64, 100.0 - i as f64]).collect();
         let picks = equally_spaced(&front, 5);
         assert_eq!(picks.len(), 5);
         let values: Vec<f64> = picks.iter().map(|&i| front[i][0]).collect();

@@ -157,10 +157,10 @@ impl Moead {
         }
 
         for _ in 0..self.config.generations {
-            for i in 0..n {
+            for neighborhood in &neighborhoods {
                 // Pick two parents from the neighbourhood.
-                let pa = neighborhoods[i][self.rng.gen_range(0..t)];
-                let pb = neighborhoods[i][self.rng.gen_range(0..t)];
+                let pa = neighborhood[self.rng.gen_range(0..t)];
+                let pb = neighborhood[self.rng.gen_range(0..t)];
                 let (mut child, _) = sbx_crossover(
                     &population[pa].variables,
                     &population[pb].variables,
@@ -183,7 +183,7 @@ impl Moead {
                 }
                 // Update neighbouring sub-problems. Infeasible children are
                 // only allowed to replace more-violating incumbents.
-                for &j in &neighborhoods[i] {
+                for &j in neighborhood {
                     let incumbent = &population[j];
                     let replace = if child.violation > 0.0 || incumbent.violation > 0.0 {
                         child.violation < incumbent.violation
@@ -204,7 +204,11 @@ impl Moead {
             .filter(|individual| individual.is_feasible())
             .cloned()
             .collect();
-        let pool = if feasible.is_empty() { population } else { feasible };
+        let pool = if feasible.is_empty() {
+            population
+        } else {
+            feasible
+        };
         let objectives: Vec<Vec<f64>> = pool.iter().map(|i| i.objectives.clone()).collect();
         let front = nondominated_filter(&objectives);
         pool.into_iter()

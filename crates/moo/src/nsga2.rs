@@ -300,7 +300,7 @@ mod tests {
         let mut solver = Nsga2::new(small_config(1), 5);
         solver.initialize(&Schaffer);
         let mut inflated: Vec<Individual> = solver.population().clone().into_iter().collect();
-        inflated.extend(solver.population().clone().into_iter());
+        inflated.extend(solver.population().clone());
         solver.set_population(inflated.into());
         solver.step(&Schaffer);
         assert_eq!(solver.population().len(), 40);

@@ -20,8 +20,16 @@ pub fn sbx_crossover<R: Rng>(
     eta_c: f64,
     rng: &mut R,
 ) -> (Vec<f64>, Vec<f64>) {
-    assert_eq!(parent_a.len(), parent_b.len(), "parents must have equal length");
-    assert_eq!(parent_a.len(), bounds.len(), "one bound per variable is required");
+    assert_eq!(
+        parent_a.len(),
+        parent_b.len(),
+        "parents must have equal length"
+    );
+    assert_eq!(
+        parent_a.len(),
+        bounds.len(),
+        "one bound per variable is required"
+    );
     let n = parent_a.len();
     let mut child_a = parent_a.to_vec();
     let mut child_b = parent_b.to_vec();

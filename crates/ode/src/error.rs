@@ -52,7 +52,10 @@ impl fmt::Display for OdeError {
                 write!(f, "step size underflow ({step:e}) at t = {time}")
             }
             OdeError::NewtonDivergence { time, iterations } => {
-                write!(f, "newton corrector diverged at t = {time} after {iterations} iterations")
+                write!(
+                    f,
+                    "newton corrector diverged at t = {time} after {iterations} iterations"
+                )
             }
             OdeError::SteadyStateNotReached {
                 simulated_time,
@@ -62,7 +65,10 @@ impl fmt::Display for OdeError {
                 "steady state not reached after {simulated_time} time units (residual {residual:e})"
             ),
             OdeError::DimensionMismatch { expected, found } => {
-                write!(f, "state dimension {found} does not match system dimension {expected}")
+                write!(
+                    f,
+                    "state dimension {found} does not match system dimension {expected}"
+                )
             }
         }
     }

@@ -132,7 +132,9 @@ impl Integrator for BackwardEuler {
             // Predictor: explicit Euler.
             system.rhs(t, &y, &mut f);
             stats.rhs_evaluations += 1;
-            y_new.axpy_mut(h, &f).expect("dimensions match by construction");
+            y_new
+                .axpy_mut(h, &f)
+                .expect("dimensions match by construction");
 
             let mut converged = false;
             for _ in 0..self.max_newton_iterations {
@@ -171,7 +173,9 @@ impl Integrator for BackwardEuler {
                 let mut damping = 1.0;
                 loop {
                     let mut candidate = y_new.clone();
-                    candidate.axpy_mut(-damping, &delta).expect("dimensions match");
+                    candidate
+                        .axpy_mut(-damping, &delta)
+                        .expect("dimensions match");
                     if candidate.is_finite() {
                         y_new = candidate;
                         break;

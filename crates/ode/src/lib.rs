@@ -58,3 +58,15 @@ pub use system::{IntegrationResult, Integrator, OdeSystem};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, OdeError>;
+
+/// `true` when `x` is strictly positive; false for NaN, so option validation
+/// rejects NaN inputs.
+pub(crate) fn is_strictly_positive(x: f64) -> bool {
+    x > 0.0
+}
+
+/// `true` when `a >= b`; false when either side is NaN, so option validation
+/// rejects NaN inputs.
+pub(crate) fn is_at_least(a: f64, b: f64) -> bool {
+    a >= b
+}

@@ -182,7 +182,10 @@ mod tests {
         // 10 full steps, plus possibly one tiny closing step caused by
         // floating-point accumulation of 0.1.
         assert!(result.stats.steps_accepted >= 10 && result.stats.steps_accepted <= 11);
-        assert_eq!(result.stats.rhs_evaluations, 4 * result.stats.steps_accepted);
+        assert_eq!(
+            result.stats.rhs_evaluations,
+            4 * result.stats.steps_accepted
+        );
     }
 
     proptest! {

@@ -1,7 +1,9 @@
 use pathway_linalg::Vector;
 
 use crate::system::validate_inputs;
-use crate::{IntegrationResult, IntegrationStats, Integrator, OdeError, OdeSystem};
+use crate::{
+    is_strictly_positive, IntegrationResult, IntegrationStats, Integrator, OdeError, OdeSystem,
+};
 
 /// Options shared by the adaptive embedded Runge–Kutta solvers.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,12 +37,15 @@ impl Default for AdaptiveOptions {
 
 impl AdaptiveOptions {
     fn validate(&self) -> crate::Result<()> {
-        if !(self.abs_tol > 0.0) || !(self.rel_tol > 0.0) {
+        if !is_strictly_positive(self.abs_tol) || !is_strictly_positive(self.rel_tol) {
             return Err(OdeError::InvalidParameter(
                 "tolerances must be positive".into(),
             ));
         }
-        if !(self.initial_step > 0.0) || !(self.min_step > 0.0) || !(self.max_step > 0.0) {
+        if !is_strictly_positive(self.initial_step)
+            || !is_strictly_positive(self.min_step)
+            || !is_strictly_positive(self.max_step)
+        {
             return Err(OdeError::InvalidParameter(
                 "step sizes must be positive".into(),
             ));

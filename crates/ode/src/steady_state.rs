@@ -94,12 +94,12 @@ impl<I: Integrator> SteadyStateDriver<I> {
     /// * [`OdeError::SteadyStateNotReached`] if `max_time` is exhausted.
     /// * Any error produced by the underlying integrator.
     pub fn run<S: OdeSystem>(&self, system: &S, y0: Vector) -> crate::Result<SteadyState> {
-        if !(self.options.window > 0.0) {
+        if !crate::is_strictly_positive(self.options.window) {
             return Err(OdeError::InvalidParameter(
                 "steady-state window must be positive".into(),
             ));
         }
-        if !(self.options.max_time >= self.options.window) {
+        if !crate::is_at_least(self.options.max_time, self.options.window) {
             return Err(OdeError::InvalidParameter(
                 "max_time must be at least one window".into(),
             ));
@@ -166,7 +166,9 @@ mod tests {
     #[test]
     fn relaxation_reaches_its_target() {
         let driver = SteadyStateDriver::new(Rk4::new(0.01), SteadyStateOptions::default());
-        let steady = driver.run(&Relax { target: 5.0 }, Vector::from(vec![0.0])).unwrap();
+        let steady = driver
+            .run(&Relax { target: 5.0 }, Vector::from(vec![0.0]))
+            .unwrap();
         assert!((steady.state[0] - 5.0).abs() < 1e-4);
         assert!(steady.simulated_time > 0.0);
     }
@@ -174,7 +176,9 @@ mod tests {
     #[test]
     fn decay_reaches_zero() {
         let driver = SteadyStateDriver::new(Rkf45::default(), SteadyStateOptions::default());
-        let steady = driver.run(&Decay { k: 0.7 }, Vector::from(vec![10.0])).unwrap();
+        let steady = driver
+            .run(&Decay { k: 0.7 }, Vector::from(vec![10.0]))
+            .unwrap();
         assert!(steady.state[0].abs() < 1e-3);
     }
 
@@ -190,7 +194,9 @@ mod tests {
     #[test]
     fn implicit_integrator_also_reaches_steady_state() {
         let driver = SteadyStateDriver::new(BackwardEuler::new(0.1), SteadyStateOptions::default());
-        let steady = driver.run(&Relax { target: -2.0 }, Vector::from(vec![4.0])).unwrap();
+        let steady = driver
+            .run(&Relax { target: -2.0 }, Vector::from(vec![4.0]))
+            .unwrap();
         assert!((steady.state[0] + 2.0).abs() < 1e-3);
     }
 
@@ -204,7 +210,9 @@ mod tests {
             state_change_tol: 1e-12,
         };
         let driver = SteadyStateDriver::new(Rk4::new(0.01), options);
-        let err = driver.run(&Harmonic, Vector::from(vec![1.0, 0.0])).unwrap_err();
+        let err = driver
+            .run(&Harmonic, Vector::from(vec![1.0, 0.0]))
+            .unwrap_err();
         assert!(matches!(err, OdeError::SteadyStateNotReached { .. }));
     }
 
@@ -242,7 +250,9 @@ mod tests {
                 max_time: 100.0,
             },
         );
-        let steady = driver.run(&Relax { target: 1.0 }, Vector::from(vec![0.0])).unwrap();
+        let steady = driver
+            .run(&Relax { target: 1.0 }, Vector::from(vec![0.0]))
+            .unwrap();
         assert!(steady.stats.steps_accepted >= 100);
         assert!(steady.stats.rhs_evaluations > steady.stats.steps_accepted);
     }

@@ -250,7 +250,10 @@ impl std::fmt::Display for EnzymeKind {
 
 /// The full enzyme table in Figure 2 order.
 pub fn enzyme_table() -> Vec<Enzyme> {
-    EnzymeKind::ALL.iter().map(|kind| kind.to_enzyme()).collect()
+    EnzymeKind::ALL
+        .iter()
+        .map(|kind| kind.to_enzyme())
+        .collect()
 }
 
 #[cfg(test)]

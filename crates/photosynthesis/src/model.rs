@@ -257,13 +257,9 @@ impl OdeSystem for CalvinCycleOde {
             0.5,
             conc(P::Pga),
         );
-        let v_gapdh =
-            rate_laws::michaelis_menten(self.vmax(EnzymeKind::Gapdh), 0.3, conc(P::Dpga));
-        let v_fbp_aldolase = rate_laws::michaelis_menten(
-            self.vmax(EnzymeKind::FbpAldolase),
-            0.4,
-            conc(P::TrioseP),
-        );
+        let v_gapdh = rate_laws::michaelis_menten(self.vmax(EnzymeKind::Gapdh), 0.3, conc(P::Dpga));
+        let v_fbp_aldolase =
+            rate_laws::michaelis_menten(self.vmax(EnzymeKind::FbpAldolase), 0.4, conc(P::TrioseP));
         let v_fbpase = rate_laws::competitive_inhibition(
             self.vmax(EnzymeKind::Fbpase),
             0.15,
@@ -308,12 +304,9 @@ impl OdeSystem for CalvinCycleOde {
             rate_laws::michaelis_menten(self.vmax(EnzymeKind::Pgcapase), 0.1, conc(P::Pgca));
         let v_goa_oxidase =
             rate_laws::michaelis_menten(self.vmax(EnzymeKind::GoaOxidase), 0.1, conc(P::Gca));
-        let v_ggat =
-            rate_laws::michaelis_menten(self.vmax(EnzymeKind::Ggat), 0.2, conc(P::Goa));
-        let v_gdc =
-            rate_laws::michaelis_menten(self.vmax(EnzymeKind::Gdc), 0.5, conc(P::Glycine));
-        let v_gsat =
-            rate_laws::michaelis_menten(self.vmax(EnzymeKind::Gsat), 0.2, conc(P::Serine));
+        let v_ggat = rate_laws::michaelis_menten(self.vmax(EnzymeKind::Ggat), 0.2, conc(P::Goa));
+        let v_gdc = rate_laws::michaelis_menten(self.vmax(EnzymeKind::Gdc), 0.5, conc(P::Glycine));
+        let v_gsat = rate_laws::michaelis_menten(self.vmax(EnzymeKind::Gsat), 0.2, conc(P::Serine));
         let v_hpr = rate_laws::michaelis_menten(
             self.vmax(EnzymeKind::HprReductase),
             0.1,
@@ -367,11 +360,8 @@ impl OdeSystem for CalvinCycleOde {
         // F2,6BP regulatory pool: synthesized at a constant rate, degraded by
         // F26BPase.
         let v_f26_synthesis = 0.01;
-        let v_f26bpase = rate_laws::michaelis_menten(
-            self.vmax(EnzymeKind::F26Bpase),
-            0.02,
-            conc(P::F26bp),
-        );
+        let v_f26bpase =
+            rate_laws::michaelis_menten(self.vmax(EnzymeKind::F26Bpase), 0.02, conc(P::F26bp));
 
         // Assemble the derivative.
         for i in 0..POOL_COUNT {
@@ -390,7 +380,11 @@ impl OdeSystem for CalvinCycleOde {
         // transketolases and export.
         add(
             P::TrioseP,
-            v_gapdh - 2.0 * v_fbp_aldolase - v_transketolase - v_sbp_aldolase - v_transketolase2
+            v_gapdh
+                - 2.0 * v_fbp_aldolase
+                - v_transketolase
+                - v_sbp_aldolase
+                - v_transketolase2
                 - v_export,
         );
         add(P::Fbp, v_fbp_aldolase - v_fbpase);
@@ -516,7 +510,8 @@ impl OdeUptakeEvaluator {
         horizon: f64,
     ) -> Result<Vector, OdeError> {
         let model = CalvinCycleOde::new(partition, scenario);
-        let result = BackwardEuler::new(self.step).integrate(&model, 0.0, model.initial_state(), horizon)?;
+        let result =
+            BackwardEuler::new(self.step).integrate(&model, 0.0, model.initial_state(), horizon)?;
         Ok(result.state)
     }
 }
@@ -543,7 +538,8 @@ mod tests {
 
     #[test]
     fn rhs_is_finite_at_the_initial_state() {
-        let model = CalvinCycleOde::new(&EnzymePartition::natural(), &Scenario::present_low_export());
+        let model =
+            CalvinCycleOde::new(&EnzymePartition::natural(), &Scenario::present_low_export());
         let y = model.initial_state();
         let mut dydt = Vector::zeros(POOL_COUNT);
         model.rhs(0.0, &y, &mut dydt);
@@ -552,7 +548,8 @@ mod tests {
 
     #[test]
     fn carboxylation_stops_without_rubp() {
-        let model = CalvinCycleOde::new(&EnzymePartition::natural(), &Scenario::present_low_export());
+        let model =
+            CalvinCycleOde::new(&EnzymePartition::natural(), &Scenario::present_low_export());
         let mut y = model.initial_state();
         y[MetabolitePool::RuBP.index()] = 0.0;
         let fluxes = model.fluxes(&y);
@@ -597,7 +594,11 @@ mod tests {
     fn transient_is_bounded() {
         let evaluator = OdeUptakeEvaluator::fast();
         let state = evaluator
-            .transient(&EnzymePartition::natural(), &Scenario::present_low_export(), 10.0)
+            .transient(
+                &EnzymePartition::natural(),
+                &Scenario::present_low_export(),
+                10.0,
+            )
             .unwrap();
         assert!(state.iter().all(|&c| (0.0..=100.0).contains(&c)));
     }

@@ -10,7 +10,10 @@ use crate::enzymes::{enzyme_table, EnzymeKind, ENZYME_COUNT};
 /// natural leaf (see `DESIGN.md`, "Substitutions").
 fn nitrogen_scale() -> f64 {
     let enzymes = enzyme_table();
-    let natural: Vec<f64> = EnzymeKind::ALL.iter().map(|k| k.natural_capacity()).collect();
+    let natural: Vec<f64> = EnzymeKind::ALL
+        .iter()
+        .map(|k| k.natural_capacity())
+        .collect();
     let raw = nitrogen::total_nitrogen(&enzymes, &natural);
     EnzymePartition::NATURAL_NITROGEN / raw
 }
@@ -102,7 +105,10 @@ impl EnzymePartition {
     /// Returns a copy with every capacity multiplied by `factor`.
     #[must_use]
     pub fn scaled(&self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor >= 0.0, "factor must be non-negative");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "factor must be non-negative"
+        );
         EnzymePartition::new(self.capacities.iter().map(|c| c * factor).collect())
     }
 
@@ -173,7 +179,11 @@ impl From<EnzymePartition> for Vec<f64> {
 
 impl fmt::Display for EnzymePartition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "enzyme partition (total N {:.0} mg/l):", self.total_nitrogen())?;
+        writeln!(
+            f,
+            "enzyme partition (total N {:.0} mg/l):",
+            self.total_nitrogen()
+        )?;
         for kind in EnzymeKind::ALL {
             writeln!(f, "  {:<24} {:>10.3}", kind.name(), self.capacity(kind))?;
         }

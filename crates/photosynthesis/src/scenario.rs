@@ -163,7 +163,10 @@ mod tests {
     fn export_rates_match_the_paper() {
         assert_eq!(TriosePhosphateExport::Low.rate(), 1.0);
         assert_eq!(TriosePhosphateExport::High.rate(), 3.0);
-        assert!(TriosePhosphateExport::Low.uptake_ceiling() < TriosePhosphateExport::High.uptake_ceiling());
+        assert!(
+            TriosePhosphateExport::Low.uptake_ceiling()
+                < TriosePhosphateExport::High.uptake_ceiling()
+        );
     }
 
     #[test]

@@ -158,8 +158,7 @@ impl UptakeModel {
             (EnzymeKind::Sbpase, 0.35),
             (EnzymeKind::Prk, 1.0 * photorespiratory_load),
         ];
-        let regeneration_limited =
-            self.chain_capacity(partition, &regeneration_chain) * net_factor;
+        let regeneration_limited = self.chain_capacity(partition, &regeneration_chain) * net_factor;
 
         // 3. End-product synthesis: starch (ADPGPP) plus cytosolic sucrose,
         //    the latter modulated by F26BPase relief of F2,6BP inhibition, all
@@ -175,8 +174,8 @@ impl UptakeModel {
         let f26bpase = partition.capacity(EnzymeKind::F26Bpase);
         let f26_relief = f26bpase / (f26bpase + 0.5 * EnzymeKind::F26Bpase.natural_capacity());
         let sucrose_capacity = self.chain_capacity(partition, &sucrose_chain) * f26_relief;
-        let product_limited = (starch_capacity + sucrose_capacity)
-            .min(scenario.export.uptake_ceiling());
+        let product_limited =
+            (starch_capacity + sucrose_capacity).min(scenario.export.uptake_ceiling());
 
         // 4. Photorespiratory recycling: the pathway has to process Φ
         //    oxygenations per carboxylation; if it cannot, carboxylation backs up.

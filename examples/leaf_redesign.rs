@@ -59,10 +59,17 @@ fn main() {
             let ratios = candidate_b.partition.ratio_to_natural();
             for (kind, ratio) in EnzymeKind::ALL.iter().zip(ratios) {
                 let bar_length = (ratio * 20.0).round().clamp(0.0, 60.0) as usize;
-                println!("  {:<24} {:>6.2}  {}", kind.name(), ratio, "#".repeat(bar_length));
+                println!(
+                    "  {:<24} {:>6.2}  {}",
+                    kind.name(),
+                    ratio,
+                    "#".repeat(bar_length)
+                );
             }
         } else {
-            println!("no candidate matched the natural uptake in this budget; increase generations");
+            println!(
+                "no candidate matched the natural uptake in this budget; increase generations"
+            );
         }
     }
 }

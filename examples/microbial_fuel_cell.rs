@@ -57,7 +57,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Point", "Electron production", "Biomass production", "Violation"],
+            &[
+                "Point",
+                "Electron production",
+                "Biomass production",
+                "Violation"
+            ],
             &rows
         )
     );

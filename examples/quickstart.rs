@@ -26,7 +26,7 @@ fn main() {
     );
 
     let selected = outcome.selected_designs(study.robustness_trials(), 20);
-    let rows = vec![
+    let rows = [
         ("Closest-to-ideal", &selected.closest_to_ideal),
         ("Max CO2 Uptake", &selected.max_uptake),
         ("Min Nitrogen", &selected.min_nitrogen),
@@ -47,7 +47,10 @@ fn main() {
     println!();
     println!(
         "{}",
-        render_table(&["Selection", "CO2 Uptake", "Nitrogen", "Yield %"], &table_rows)
+        render_table(
+            &["Selection", "CO2 Uptake", "Nitrogen", "Yield %"],
+            &table_rows
+        )
     );
 
     if let Some(candidate_b) = outcome.candidate_b(1.0) {

@@ -45,7 +45,11 @@ fn main() {
     let scenario = Scenario::present_low_export();
 
     // 1. The natural leaf.
-    report("natural leaf        ", &EnzymePartition::natural(), &scenario);
+    report(
+        "natural leaf        ",
+        &EnzymePartition::natural(),
+        &scenario,
+    );
 
     // 2. A hand-tuned maximum-uptake leaf: everything scaled up, which the
     //    paper finds to be less robust than interior trade-off points.

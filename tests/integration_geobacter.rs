@@ -63,12 +63,17 @@ fn repair_operator_improves_random_flux_vectors() {
     for _ in 0..10 {
         let mut fluxes = perturbation.random_vector(model.model());
         let before = steady_state_violation(model.model(), &fluxes).expect("dimensions match");
-        let after = repair.repair(model.model(), &mut fluxes).expect("repair runs");
+        let after = repair
+            .repair(model.model(), &mut fluxes)
+            .expect("repair runs");
         if after < before {
             improved += 1;
         }
     }
-    assert!(improved >= 8, "repair only improved {improved}/10 random vectors");
+    assert!(
+        improved >= 8,
+        "repair only improved {improved}/10 random vectors"
+    );
 }
 
 #[test]
@@ -107,12 +112,20 @@ fn biomass_and_electron_objectives_genuinely_conflict() {
     let best_biomass = solutions
         .iter()
         .cloned()
-        .max_by(|a, b| a.biomass_production.partial_cmp(&b.biomass_production).unwrap())
+        .max_by(|a, b| {
+            a.biomass_production
+                .partial_cmp(&b.biomass_production)
+                .unwrap()
+        })
         .unwrap();
     let best_electron = solutions
         .iter()
         .cloned()
-        .max_by(|a, b| a.electron_production.partial_cmp(&b.electron_production).unwrap())
+        .max_by(|a, b| {
+            a.electron_production
+                .partial_cmp(&b.electron_production)
+                .unwrap()
+        })
         .unwrap();
     // If the front has more than one point, the two champions differ and the
     // electron champion pays in biomass (and vice versa).

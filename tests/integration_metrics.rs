@@ -2,9 +2,7 @@
 //! PMO2-vs-MOEA/D comparison of the paper's Table 1 on a reduced budget.
 
 use pathway_core::prelude::*;
-use pathway_moo::metrics::{
-    global_coverage, hypervolume, relative_coverage, spacing, union_front,
-};
+use pathway_moo::metrics::{global_coverage, hypervolume, relative_coverage, spacing, union_front};
 
 fn objective_matrix(front: &[pathway_moo::Individual]) -> Vec<Vec<f64>> {
     front.iter().map(|i| i.objectives.clone()).collect()
@@ -52,8 +50,7 @@ fn table_1_style_comparison_runs_end_to_end() {
         assert!((0.0..=1.0).contains(&g));
         assert!((0.0..=1.0).contains(&r));
     }
-    let total_contribution =
-        global_coverage(&pmo2, &global) + global_coverage(&moead, &global);
+    let total_contribution = global_coverage(&pmo2, &global) + global_coverage(&moead, &global);
     assert!(total_contribution >= 1.0 - 1e-9);
 
     // Hypervolume uses a reference point dominated by every solution:
