@@ -1,0 +1,62 @@
+//! Serial vs threaded batched offspring evaluation on the paper-scale
+//! Geobacter problem.
+//!
+//! Evaluating one candidate costs a sparse steady-state residual over the
+//! 608-reaction stoichiometric matrix; a generation evaluates a full
+//! population-sized batch of them, which is where the study's wall-clock
+//! goes. On 4 hardware threads `Threads(4)` should finish the 100-candidate
+//! batch at least 2× faster than `Serial`; on fewer cores it degrades
+//! gracefully towards serial cost (the backends are bit-identical either
+//! way, so the choice is purely about speed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathway_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn candidates(problem: &GeobacterFluxProblem, count: usize) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let bounds = problem.bounds();
+    (0..count)
+        .map(|_| {
+            bounds
+                .iter()
+                .map(|&(lower, upper)| {
+                    if upper > lower {
+                        rng.gen_range(lower..=upper)
+                    } else {
+                        lower
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_batch_eval(c: &mut Criterion) {
+    let model = GeobacterModel::builder().reactions(608).build();
+    let problem = GeobacterFluxProblem::new(&model).expect("paper-scale problem builds");
+    let batch = candidates(&problem, 100);
+
+    let mut group = c.benchmark_group("batch_eval");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("geobacter_pop100", "serial"), |b| {
+        b.iter(|| EvalBackend::Serial.evaluate_batch(&problem, &batch).len())
+    });
+    for workers in [2usize, 4] {
+        group.bench_function(
+            BenchmarkId::new("geobacter_pop100", format!("threads{workers}")),
+            |b| {
+                b.iter(|| {
+                    EvalBackend::Threads(workers)
+                        .evaluate_batch(&problem, &batch)
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_eval);
+criterion_main!(benches);

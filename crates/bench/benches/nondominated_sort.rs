@@ -1,7 +1,12 @@
 //! Fast non-dominated sort cost versus population size.
+//!
+//! `alloc` goes through the convenience wrapper (fresh scratch + copied-out
+//! fronts each call); `scratch` reuses a [`SortScratch`] across calls the way
+//! `Nsga2` does every generation, performing no per-call allocations once
+//! the buffers are warm.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pathway_moo::{fast_nondominated_sort, Individual};
+use pathway_moo::{fast_nondominated_sort, fast_nondominated_sort_with, Individual, SortScratch};
 
 fn synthetic_population(size: usize) -> Vec<Individual> {
     (0..size)
@@ -23,11 +28,16 @@ fn bench_sort(c: &mut Criterion) {
     let mut group = c.benchmark_group("nondominated_sort");
     group.sample_size(20);
     for &size in &[100usize, 200, 400] {
-        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
-            let population = synthetic_population(size);
+        group.bench_with_input(BenchmarkId::new("alloc", size), &size, |b, &size| {
+            let mut population = synthetic_population(size);
+            b.iter(|| fast_nondominated_sort(&mut population).len());
+        });
+        group.bench_with_input(BenchmarkId::new("scratch", size), &size, |b, &size| {
+            let mut population = synthetic_population(size);
+            let mut scratch = SortScratch::new();
             b.iter(|| {
-                let mut copy = population.clone();
-                fast_nondominated_sort(&mut copy).len()
+                fast_nondominated_sort_with(&mut population, &mut scratch);
+                scratch.num_fronts()
             });
         });
     }

@@ -1,6 +1,8 @@
 use pathway_fba::geobacter::GeobacterModel;
 use pathway_moo::robustness::{global_yield, RobustnessOptions};
-use pathway_moo::{mining, Archipelago, ArchipelagoConfig, MigrationTopology, Nsga2Config};
+use pathway_moo::{
+    mining, Archipelago, ArchipelagoConfig, EvalBackend, MigrationTopology, Nsga2Config,
+};
 use pathway_photosynthesis::{EnzymePartition, Scenario};
 
 use crate::{GeobacterFluxProblem, GeobacterSolution, LeafRedesignProblem};
@@ -175,6 +177,7 @@ pub struct LeafDesignStudy {
     migration_interval: usize,
     migration_probability: f64,
     robustness_trials: usize,
+    backend: EvalBackend,
 }
 
 impl LeafDesignStudy {
@@ -190,6 +193,7 @@ impl LeafDesignStudy {
             migration_interval: 200,
             migration_probability: 0.5,
             robustness_trials: 5_000,
+            backend: EvalBackend::Serial,
         }
     }
 
@@ -224,6 +228,16 @@ impl LeafDesignStudy {
         self
     }
 
+    /// Overrides the evaluation backend each island uses for its offspring
+    /// batches (each candidate evaluation runs the leaf ODE model to steady
+    /// state, so this is where the study's wall-clock goes). Results are
+    /// bit-identical across backends for a fixed seed.
+    #[must_use]
+    pub fn with_backend(mut self, backend: EvalBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// The robustness trial budget configured for this study.
     pub fn robustness_trials(&self) -> usize {
         self.robustness_trials
@@ -241,6 +255,7 @@ impl LeafDesignStudy {
             island_config: Nsga2Config {
                 population_size: self.population,
                 generations: self.generations,
+                backend: self.backend,
                 ..Default::default()
             },
             migration_interval: self.migration_interval,
@@ -304,6 +319,7 @@ pub struct GeobacterStudy {
     population: usize,
     generations: usize,
     islands: usize,
+    backend: EvalBackend,
 }
 
 impl GeobacterStudy {
@@ -314,6 +330,7 @@ impl GeobacterStudy {
             population: 60,
             generations: 200,
             islands: 2,
+            backend: EvalBackend::Serial,
         }
     }
 
@@ -329,6 +346,15 @@ impl GeobacterStudy {
     pub fn with_budget(mut self, population: usize, generations: usize) -> Self {
         self.population = population;
         self.generations = generations;
+        self
+    }
+
+    /// Overrides the evaluation backend each island uses for its offspring
+    /// batches (each candidate costs a sparse steady-state residual at model
+    /// scale). Results are bit-identical across backends for a fixed seed.
+    #[must_use]
+    pub fn with_backend(mut self, backend: EvalBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -356,6 +382,7 @@ impl GeobacterStudy {
             island_config: Nsga2Config {
                 population_size: self.population,
                 generations: self.generations,
+                backend: self.backend,
                 ..Default::default()
             },
             migration_interval: (self.generations / 2).max(1),
@@ -452,6 +479,14 @@ mod tests {
             assert!((0.0..=100.0).contains(yield_percent));
         }
         assert!(selected.max_yield.1 >= selected.closest_to_ideal.1);
+    }
+
+    #[test]
+    fn threaded_backend_reproduces_the_serial_study_bit_for_bit() {
+        let serial = quick_study().run(3);
+        let threaded = quick_study().with_backend(EvalBackend::Threads(2)).run(3);
+        assert_eq!(serial.front, threaded.front);
+        assert_eq!(serial.evaluations, threaded.evaluations);
     }
 
     #[test]

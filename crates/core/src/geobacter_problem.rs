@@ -206,6 +206,20 @@ mod tests {
     }
 
     #[test]
+    fn batched_evaluation_matches_itemwise_calls() {
+        let problem = small_problem();
+        let mut unbalanced = problem.reference_fluxes().to_vec();
+        unbalanced[0] += 50.0;
+        let xs = vec![problem.reference_fluxes().to_vec(), unbalanced];
+        let batch = problem.evaluate_batch(&xs);
+        for (x, (objectives, violation)) in xs.iter().zip(&batch) {
+            assert_eq!(objectives, &problem.evaluate(x));
+            assert_eq!(*violation, problem.constraint_violation(x));
+        }
+        assert!(batch[1].1 > 0.0);
+    }
+
+    #[test]
     fn mid_scale_problem_scales_to_hundreds_of_fluxes() {
         let model = GeobacterModel::builder().reactions(200).build();
         let problem = GeobacterFluxProblem::new(&model).expect("mid-scale model is feasible");

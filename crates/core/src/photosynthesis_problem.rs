@@ -148,6 +148,19 @@ mod tests {
     }
 
     #[test]
+    fn batched_evaluation_matches_itemwise_calls() {
+        let problem = LeafRedesignProblem::new(Scenario::present_low_export());
+        let natural = EnzymePartition::natural();
+        let lean = natural.with_scaled(EnzymeKind::Rubisco, 0.5);
+        let xs = vec![natural.capacities().to_vec(), lean.capacities().to_vec()];
+        let batch = problem.evaluate_batch(&xs);
+        for (x, (objectives, violation)) in xs.iter().zip(&batch) {
+            assert_eq!(objectives, &problem.evaluate(x));
+            assert_eq!(*violation, 0.0);
+        }
+    }
+
+    #[test]
     fn problem_is_unconstrained() {
         let problem = LeafRedesignProblem::new(Scenario::present_low_export());
         assert_eq!(

@@ -15,7 +15,7 @@ pub use crate::{
 pub use pathway_fba::geobacter::GeobacterModel;
 pub use pathway_fba::{FluxBalanceAnalysis, MetabolicModel};
 pub use pathway_moo::{
-    Archipelago, ArchipelagoConfig, Individual, MigrationTopology, Moead, MoeadConfig,
+    Archipelago, ArchipelagoConfig, EvalBackend, Individual, MigrationTopology, Moead, MoeadConfig,
     MultiObjectiveProblem, Nsga2, Nsga2Config, Pmo2,
 };
 pub use pathway_photosynthesis::{

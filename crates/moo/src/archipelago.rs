@@ -1,8 +1,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::dominance::fast_nondominated_sort;
-use crate::{Individual, MultiObjectiveProblem, Nsga2, Nsga2Config, Population};
+use crate::dominance::{fast_nondominated_sort_with, SortScratch};
+use crate::{Individual, MultiObjectiveProblem, Nsga2, Nsga2Config};
 
 /// Topology describing which islands exchange migrants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -24,7 +24,10 @@ pub struct ArchipelagoConfig {
     /// Number of islands (the paper uses 2).
     pub islands: usize,
     /// NSGA-II configuration used on every island. `generations` here is the
-    /// total evolution length of the archipelago.
+    /// total evolution length of the archipelago. The evaluation backend is
+    /// configured here too (`island_config.backend`): each island applies it
+    /// to its own offspring batches, multiplying the coarse-grained island
+    /// parallelism by fine-grained evaluation parallelism.
     pub island_config: Nsga2Config,
     /// Number of generations between migrations (the paper uses 200).
     pub migration_interval: usize,
@@ -153,8 +156,13 @@ impl Archipelago {
         if merged.is_empty() {
             return merged;
         }
-        let fronts = fast_nondominated_sort(&mut merged);
-        let mut front: Vec<Individual> = fronts[0].iter().map(|&i| merged[i].clone()).collect();
+        let mut scratch = SortScratch::new();
+        fast_nondominated_sort_with(&mut merged, &mut scratch);
+        let mut front: Vec<Individual> = scratch
+            .front(0)
+            .iter()
+            .map(|&i| merged[i].clone())
+            .collect();
         // Deduplicate identical objective vectors that may arise from broadcast copies.
         front.sort_by(|a, b| {
             a.objectives
@@ -166,6 +174,13 @@ impl Archipelago {
     }
 
     /// Performs one migration event according to the configured topology.
+    ///
+    /// Migrants are appended to the target populations in place (the
+    /// residents are never copied), and every island that received migrants
+    /// re-runs non-dominated sorting and crowding afterwards: the injected
+    /// individuals carry `rank`/`crowding` computed on their *source* island,
+    /// and the next epoch's tournament selection reads those fields before
+    /// any environmental selection runs.
     fn migrate(&self, islands: &mut [Nsga2], rng: &mut StdRng) {
         if matches!(self.config.topology, MigrationTopology::Isolated) || islands.len() < 2 {
             return;
@@ -177,20 +192,30 @@ impl Archipelago {
             .collect();
 
         let n = islands.len();
+        let mut received = vec![false; n];
         for (source, export) in exports.iter().enumerate() {
             if !rng.gen_bool(self.config.migration_probability.clamp(0.0, 1.0)) {
                 continue;
             }
-            let targets: Vec<usize> = match self.config.topology {
-                MigrationTopology::Broadcast => (0..n).filter(|&t| t != source).collect(),
-                MigrationTopology::Ring => vec![(source + 1) % n],
-                MigrationTopology::Isolated => Vec::new(),
+            let targets = match self.config.topology {
+                MigrationTopology::Broadcast => 0..n,
+                MigrationTopology::Ring => {
+                    let next = (source + 1) % n;
+                    next..next + 1
+                }
+                MigrationTopology::Isolated => 0..0,
             };
             for target in targets {
-                let mut population: Vec<Individual> =
-                    islands[target].population().clone().into_iter().collect();
-                population.extend(export.iter().cloned());
-                islands[target].set_population(Population::from(population));
+                if target == source {
+                    continue;
+                }
+                islands[target].inject_migrants(export.iter().cloned());
+                received[target] = true;
+            }
+        }
+        for (island, got_migrants) in islands.iter_mut().zip(received) {
+            if got_migrants {
+                island.refresh_ranks();
             }
         }
     }

@@ -40,53 +40,316 @@ pub fn constrained_dominates(a: &Individual, b: &Individual) -> bool {
     }
 }
 
+/// Reusable scratch buffers for [`fast_nondominated_sort_with`].
+///
+/// Every buffer is flat (`Vec<u32>` / `Vec<usize>` / `Vec<f64>`), so after
+/// the first call at a given population size the sort performs **no
+/// allocations at all** — in particular none of the per-call
+/// `Vec<Vec<usize>>` dominated-set allocations of the textbook algorithm.
+/// [`Nsga2`](crate::Nsga2) carries one of these across generations.
+///
+/// After a sort, the fronts are read back through [`SortScratch::front`] /
+/// [`SortScratch::fronts`] as index slices into the sorted population, best
+/// front first.
+#[derive(Debug, Clone, Default)]
+pub struct SortScratch {
+    /// Per individual: how many others currently dominate it.
+    domination_count: Vec<u32>,
+    /// Per individual: how many others it dominates (adjacency slice length).
+    out_degree: Vec<u32>,
+    /// Prefix-sum start offset of each individual's adjacency slice.
+    starts: Vec<u32>,
+    /// Write cursors used while scattering edges into `adjacency`.
+    cursor: Vec<u32>,
+    /// Domination edges as flattened `(source, target)` pairs.
+    edges: Vec<u32>,
+    /// Flat adjacency storage: the indices each individual dominates.
+    adjacency: Vec<u32>,
+    /// Index permutation used by the bi-objective sweep.
+    order: Vec<u32>,
+    /// Last-inserted `f1` per front (bi-objective staircase).
+    last_f1: Vec<f64>,
+    /// Last-inserted `f2` per front (bi-objective staircase).
+    last_f2: Vec<f64>,
+    /// All population indices grouped by front, best front first.
+    fronts_flat: Vec<usize>,
+    /// Exclusive end offset of each front within `fronts_flat`.
+    front_ends: Vec<usize>,
+}
+
+impl SortScratch {
+    /// Creates an empty scratch; buffers grow on first use and are reused.
+    pub fn new() -> Self {
+        SortScratch::default()
+    }
+
+    /// Number of fronts produced by the last sort.
+    pub fn num_fronts(&self) -> usize {
+        self.front_ends.len()
+    }
+
+    /// The indices of front `rank` (0 = best) from the last sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= self.num_fronts()`.
+    pub fn front(&self, rank: usize) -> &[usize] {
+        let start = if rank == 0 {
+            0
+        } else {
+            self.front_ends[rank - 1]
+        };
+        &self.fronts_flat[start..self.front_ends[rank]]
+    }
+
+    /// Iterates the fronts of the last sort, best front first.
+    pub fn fronts(&self) -> impl Iterator<Item = &[usize]> {
+        (0..self.num_fronts()).map(move |rank| self.front(rank))
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.domination_count.clear();
+        self.domination_count.resize(n, 0);
+        self.out_degree.clear();
+        self.out_degree.resize(n, 0);
+        self.edges.clear();
+        self.fronts_flat.clear();
+        self.front_ends.clear();
+    }
+
+    /// Rebuilds `fronts_flat`/`front_ends` from the `rank` fields via a
+    /// counting sort, so indices within each front come out ascending.
+    fn fronts_from_ranks(&mut self, individuals: &[Individual], num_fronts: usize) {
+        let n = individuals.len();
+        self.out_degree.clear();
+        self.out_degree.resize(num_fronts, 0);
+        for individual in individuals {
+            self.out_degree[individual.rank] += 1;
+        }
+        self.starts.clear();
+        self.starts.push(0);
+        let mut total = 0u32;
+        for &count in &self.out_degree {
+            total += count;
+            self.starts.push(total);
+        }
+        self.front_ends.clear();
+        self.front_ends
+            .extend(self.starts[1..].iter().map(|&e| e as usize));
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.starts[..num_fronts]);
+        self.fronts_flat.clear();
+        self.fronts_flat.resize(n, 0);
+        for (i, individual) in individuals.iter().enumerate() {
+            let slot = &mut self.cursor[individual.rank];
+            self.fronts_flat[*slot as usize] = i;
+            *slot += 1;
+        }
+    }
+}
+
+/// Fast non-dominated sort (Deb et al. 2002) into reusable scratch buffers.
+///
+/// Assigns `rank` to every individual in place and leaves the fronts in
+/// `scratch` (read them with [`SortScratch::front`] / [`SortScratch::fronts`],
+/// best front first). Uses constrained domination so infeasible solutions
+/// sink to later fronts.
+///
+/// Bi-objective populations — every problem the paper optimizes — take an
+/// `O(n log n)` sweep fast path; the general case runs the textbook `O(n²)`
+/// algorithm over a flat adjacency buffer. Apart from buffer growth on the
+/// first call at a given size, neither path allocates.
+pub fn fast_nondominated_sort_with(individuals: &mut [Individual], scratch: &mut SortScratch) {
+    let n = individuals.len();
+    scratch.reset(n);
+    if n == 0 {
+        return;
+    }
+    // The sweep's staircase invariants assume a total order, which NaN
+    // breaks (a NaN representative would stop dominating anything and hand
+    // rank 0 to genuinely dominated points), so NaN objectives or
+    // violations — e.g. from a diverged oracle — take the general path,
+    // which handles NaN exactly like the textbook algorithm.
+    if individuals.iter().all(|i| {
+        i.objectives.len() == 2 && !i.violation.is_nan() && i.objectives.iter().all(|v| !v.is_nan())
+    }) {
+        sweep_sort_two_objectives(individuals, scratch);
+    } else {
+        general_sort(individuals, scratch);
+    }
+}
+
+/// Bi-objective fast path: lexicographic sweep with a staircase of per-front
+/// minima, `O(n log n)` instead of `O(n²)` domination checks.
+fn sweep_sort_two_objectives(individuals: &mut [Individual], scratch: &mut SortScratch) {
+    let n = individuals.len();
+    scratch.order.clear();
+    scratch.order.extend(0..n as u32);
+    // Feasible individuals first, by (f1, f2); infeasible after, by violation.
+    // Index breaks exact ties so the permutation is canonical.
+    scratch.order.sort_unstable_by(|&a, &b| {
+        let (a, b) = (a as usize, b as usize);
+        let (ia, ib) = (&individuals[a], &individuals[b]);
+        match (ia.is_feasible(), ib.is_feasible()) {
+            (true, false) => std::cmp::Ordering::Less,
+            (false, true) => std::cmp::Ordering::Greater,
+            (true, true) => ia.objectives[0]
+                .total_cmp(&ib.objectives[0])
+                .then_with(|| ia.objectives[1].total_cmp(&ib.objectives[1]))
+                .then_with(|| a.cmp(&b)),
+            (false, false) => ia
+                .violation
+                .total_cmp(&ib.violation)
+                .then_with(|| a.cmp(&b)),
+        }
+    });
+    let num_feasible = scratch
+        .order
+        .iter()
+        .take_while(|&&i| individuals[i as usize].is_feasible())
+        .count();
+
+    // Staircase over the feasible prefix: each front is represented by its
+    // last-inserted point, which has the minimal f2 of that front so far.
+    // Processing in (f1, f2) order means a point is dominated by front k iff
+    // it is dominated by that representative, and the fronts' representatives
+    // are ordered, so the first non-dominating front is found by bisection.
+    scratch.last_f1.clear();
+    scratch.last_f2.clear();
+    for &oi in &scratch.order[..num_feasible] {
+        let i = oi as usize;
+        let f1 = individuals[i].objectives[0];
+        let f2 = individuals[i].objectives[1];
+        let (mut lo, mut hi) = (0usize, scratch.last_f2.len());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let (lf1, lf2) = (scratch.last_f1[mid], scratch.last_f2[mid]);
+            if lf2 <= f2 && (lf1 < f1 || lf2 < f2) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        individuals[i].rank = lo;
+        if lo == scratch.last_f2.len() {
+            scratch.last_f1.push(f1);
+            scratch.last_f2.push(f2);
+        } else {
+            scratch.last_f1[lo] = f1;
+            scratch.last_f2[lo] = f2;
+        }
+    }
+    let feasible_fronts = scratch.last_f2.len();
+
+    // Under constrained domination every feasible solution dominates every
+    // infeasible one and infeasible solutions are ordered by violation alone,
+    // so each distinct violation value forms one front after all feasible
+    // fronts.
+    let mut rank = feasible_fronts;
+    let mut previous_violation = f64::NAN;
+    for (offset, &oi) in scratch.order[num_feasible..].iter().enumerate() {
+        let i = oi as usize;
+        let violation = individuals[i].violation;
+        if offset > 0 && violation != previous_violation {
+            rank += 1;
+        }
+        previous_violation = violation;
+        individuals[i].rank = rank;
+    }
+    let total_fronts = if num_feasible == n {
+        feasible_fronts
+    } else {
+        rank + 1
+    };
+    scratch.fronts_from_ranks(individuals, total_fronts);
+}
+
+/// General-case sort: textbook domination counting over a flat edge list and
+/// counting-sorted adjacency slices.
+fn general_sort(individuals: &mut [Individual], scratch: &mut SortScratch) {
+    let n = individuals.len();
+    for p in 0..n {
+        for q in (p + 1)..n {
+            if constrained_dominates(&individuals[p], &individuals[q]) {
+                scratch.edges.push(p as u32);
+                scratch.edges.push(q as u32);
+                scratch.out_degree[p] += 1;
+                scratch.domination_count[q] += 1;
+            } else if constrained_dominates(&individuals[q], &individuals[p]) {
+                scratch.edges.push(q as u32);
+                scratch.edges.push(p as u32);
+                scratch.out_degree[q] += 1;
+                scratch.domination_count[p] += 1;
+            }
+        }
+    }
+
+    // Prefix sums + scatter: adjacency slice of p holds everyone p dominates,
+    // in ascending index order (the pair loop emits targets that way).
+    scratch.starts.clear();
+    scratch.starts.push(0);
+    let mut total = 0u32;
+    for &degree in &scratch.out_degree {
+        total += degree;
+        scratch.starts.push(total);
+    }
+    scratch.cursor.clear();
+    scratch.cursor.extend_from_slice(&scratch.starts[..n]);
+    scratch.adjacency.clear();
+    scratch.adjacency.resize(total as usize, 0);
+    for edge in scratch.edges.chunks_exact(2) {
+        let (source, target) = (edge[0] as usize, edge[1]);
+        let slot = &mut scratch.cursor[source];
+        scratch.adjacency[*slot as usize] = target;
+        *slot += 1;
+    }
+
+    // Peel fronts directly into the flat storage.
+    for (p, individual) in individuals.iter_mut().enumerate() {
+        if scratch.domination_count[p] == 0 {
+            individual.rank = 0;
+            scratch.fronts_flat.push(p);
+        }
+    }
+    scratch.front_ends.push(scratch.fronts_flat.len());
+    let mut rank = 0usize;
+    let mut begin = 0usize;
+    while begin < scratch.fronts_flat.len() {
+        let end = scratch.fronts_flat.len();
+        for idx in begin..end {
+            let p = scratch.fronts_flat[idx];
+            let slice_start = scratch.starts[p] as usize;
+            let slice_end = slice_start + scratch.out_degree[p] as usize;
+            for j in slice_start..slice_end {
+                let q = scratch.adjacency[j] as usize;
+                scratch.domination_count[q] -= 1;
+                if scratch.domination_count[q] == 0 {
+                    individuals[q].rank = rank + 1;
+                    scratch.fronts_flat.push(q);
+                }
+            }
+        }
+        if scratch.fronts_flat.len() > end {
+            scratch.front_ends.push(scratch.fronts_flat.len());
+        }
+        begin = end;
+        rank += 1;
+    }
+}
+
 /// Fast non-dominated sort (Deb et al. 2002).
 ///
 /// Assigns `rank` to every individual in place and returns the fronts as
 /// vectors of indices, best front first. Uses constrained domination so
 /// infeasible solutions sink to later fronts.
+///
+/// This convenience wrapper allocates a fresh [`SortScratch`] and copies the
+/// fronts out; hot paths that sort every generation should carry a scratch
+/// and call [`fast_nondominated_sort_with`] instead.
 pub fn fast_nondominated_sort(individuals: &mut [Individual]) -> Vec<Vec<usize>> {
-    let n = individuals.len();
-    let mut domination_count = vec![0usize; n];
-    let mut dominated_sets: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut fronts: Vec<Vec<usize>> = Vec::new();
-    let mut first_front: Vec<usize> = Vec::new();
-
-    for p in 0..n {
-        for q in 0..n {
-            if p == q {
-                continue;
-            }
-            if constrained_dominates(&individuals[p], &individuals[q]) {
-                dominated_sets[p].push(q);
-            } else if constrained_dominates(&individuals[q], &individuals[p]) {
-                domination_count[p] += 1;
-            }
-        }
-        if domination_count[p] == 0 {
-            individuals[p].rank = 0;
-            first_front.push(p);
-        }
-    }
-
-    let mut current = first_front;
-    let mut rank = 0;
-    while !current.is_empty() {
-        fronts.push(current.clone());
-        let mut next = Vec::new();
-        for &p in &current {
-            for &q in &dominated_sets[p] {
-                domination_count[q] -= 1;
-                if domination_count[q] == 0 {
-                    individuals[q].rank = rank + 1;
-                    next.push(q);
-                }
-            }
-        }
-        rank += 1;
-        current = next;
-    }
-    fronts
+    let mut scratch = SortScratch::new();
+    fast_nondominated_sort_with(individuals, &mut scratch);
+    scratch.fronts().map(<[usize]>::to_vec).collect()
 }
 
 /// Extracts the non-dominated subset of a set of objective vectors
@@ -152,6 +415,24 @@ mod tests {
         assert!(fronts.len() >= 2);
         assert_eq!(individuals[0].rank, 0);
         assert_eq!(individuals[4].rank, fronts.len() - 1);
+    }
+
+    #[test]
+    fn nan_objectives_fall_back_to_the_general_path() {
+        // Under the textbook `dominates` a NaN component can never make a
+        // point *worse*, so (1,0) ≻ (5,NaN) ≻ (6,1): three nested fronts. A
+        // naive bi-objective sweep would let the NaN point poison the
+        // staircase and hand every point rank 0 instead.
+        let mut individuals = vec![
+            individual(vec![1.0, 0.0], 0.0),
+            individual(vec![5.0, f64::NAN], 0.0),
+            individual(vec![6.0, 1.0], 0.0),
+        ];
+        let fronts = fast_nondominated_sort(&mut individuals);
+        assert_eq!(individuals[0].rank, 0);
+        assert_eq!(individuals[1].rank, 1);
+        assert_eq!(individuals[2].rank, 2);
+        assert_eq!(fronts.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Evaluation backends: how a batch of candidate decision vectors is turned
+//! into evaluated [`Individual`]s.
+//!
+//! The expensive part of every study in this workspace is the objective
+//! oracle — an FBA simplex solve per candidate for the Geobacter problem, an
+//! ODE steady state per candidate for the leaf model. The algorithms
+//! therefore produce their whole offspring batch up front (variation is
+//! RNG-driven and stays serial) and hand it to an [`EvalBackend`] in one
+//! call. Because objective evaluation is a pure function of the decision
+//! vector and the backend preserves batch order, every backend produces
+//! **bit-identical** results for a fixed seed — `Threads(n)` only changes
+//! wall-clock time, never the trajectory of the search.
+
+use crate::{Individual, MultiObjectiveProblem};
+
+/// Strategy used to evaluate a batch of candidate decision vectors.
+///
+/// The default is [`EvalBackend::Serial`]. `Threads(n)` splits the batch
+/// into `n` contiguous chunks evaluated on scoped OS threads
+/// (`std::thread::scope`), which requires nothing beyond the
+/// [`MultiObjectiveProblem`]'s existing `Sync` bound.
+///
+/// # Determinism
+///
+/// All backends return results in batch order and never touch the caller's
+/// RNG, so for a fixed seed `Serial` and `Threads(n)` produce bit-identical
+/// populations for every `n`. The determinism test-suite
+/// (`tests/determinism.rs`) asserts this on Schaffer, ZDT1 and the
+/// Geobacter problem.
+///
+/// # Example
+///
+/// ```
+/// use pathway_moo::{EvalBackend, problems::Schaffer};
+///
+/// let xs = vec![vec![0.0], vec![1.0], vec![2.0]];
+/// let serial = EvalBackend::Serial.evaluate_batch(&Schaffer, &xs);
+/// let threaded = EvalBackend::Threads(2).evaluate_batch(&Schaffer, &xs);
+/// assert_eq!(serial, threaded);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvalBackend {
+    /// Evaluate the batch on the calling thread, in order.
+    #[default]
+    Serial,
+    /// Evaluate the batch on this many scoped worker threads. `Threads(0)`
+    /// and `Threads(1)` are equivalent to [`EvalBackend::Serial`].
+    Threads(usize),
+}
+
+impl EvalBackend {
+    /// Number of worker threads this backend will use for a batch of
+    /// `batch_len` candidates (at least 1, at most one per candidate).
+    pub fn workers(&self, batch_len: usize) -> usize {
+        match *self {
+            EvalBackend::Serial => 1,
+            EvalBackend::Threads(n) => n.max(1).min(batch_len.max(1)),
+        }
+    }
+
+    /// Evaluates a batch of decision vectors, returning
+    /// `(objectives, constraint_violation)` per candidate in batch order.
+    ///
+    /// Delegates to [`MultiObjectiveProblem::evaluate_batch`] per chunk, so
+    /// problems that override the batched entry point benefit under every
+    /// backend.
+    pub fn evaluate_batch<P: MultiObjectiveProblem>(
+        &self,
+        problem: &P,
+        xs: &[Vec<f64>],
+    ) -> Vec<(Vec<f64>, f64)> {
+        let workers = self.workers(xs.len());
+        if workers <= 1 {
+            return problem.evaluate_batch(xs);
+        }
+        let chunk_size = xs.len().div_ceil(workers);
+        let mut results: Vec<(Vec<f64>, f64)> = Vec::with_capacity(xs.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = xs
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move || problem.evaluate_batch(chunk)))
+                .collect();
+            for handle in handles {
+                results.extend(handle.join().expect("evaluation thread must not panic"));
+            }
+        });
+        results
+    }
+
+    /// Evaluates a batch of decision vectors into [`Individual`]s (rank and
+    /// crowding left unassigned), preserving batch order.
+    pub fn evaluate_individuals<P: MultiObjectiveProblem>(
+        &self,
+        problem: &P,
+        variables: Vec<Vec<f64>>,
+    ) -> Vec<Individual> {
+        let evaluated = self.evaluate_batch(problem, &variables);
+        variables
+            .into_iter()
+            .zip(evaluated)
+            .map(|(x, (objectives, violation))| {
+                Individual::from_evaluated(x, objectives, violation)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::{BinhKorn, Schaffer};
+
+    fn candidates(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![-5.0 + i as f64 * 0.37]).collect()
+    }
+
+    #[test]
+    fn serial_matches_itemwise_evaluation() {
+        let xs = candidates(7);
+        let batch = EvalBackend::Serial.evaluate_batch(&Schaffer, &xs);
+        for (x, (objectives, violation)) in xs.iter().zip(&batch) {
+            assert_eq!(objectives, &Schaffer.evaluate(x));
+            assert_eq!(*violation, Schaffer.constraint_violation(x));
+        }
+    }
+
+    #[test]
+    fn threads_match_serial_for_every_worker_count() {
+        let xs = candidates(13);
+        let serial = EvalBackend::Serial.evaluate_batch(&Schaffer, &xs);
+        for n in [1, 2, 3, 4, 8, 32] {
+            assert_eq!(
+                EvalBackend::Threads(n).evaluate_batch(&Schaffer, &xs),
+                serial
+            );
+        }
+    }
+
+    #[test]
+    fn constraint_violations_survive_the_threaded_path() {
+        let xs: Vec<Vec<f64>> = (0..9)
+            .map(|i| vec![i as f64 * 0.6, 3.0 - i as f64 * 0.3])
+            .collect();
+        let serial = EvalBackend::Serial.evaluate_batch(&BinhKorn, &xs);
+        let threaded = EvalBackend::Threads(3).evaluate_batch(&BinhKorn, &xs);
+        assert_eq!(serial, threaded);
+        assert!(
+            serial.iter().any(|(_, v)| *v > 0.0),
+            "some candidate is infeasible"
+        );
+    }
+
+    #[test]
+    fn degenerate_worker_counts_are_clamped() {
+        assert_eq!(EvalBackend::Threads(0).workers(10), 1);
+        assert_eq!(EvalBackend::Threads(16).workers(3), 3);
+        assert_eq!(EvalBackend::Serial.workers(10), 1);
+        let empty: Vec<Vec<f64>> = Vec::new();
+        assert!(EvalBackend::Threads(4)
+            .evaluate_batch(&Schaffer, &empty)
+            .is_empty());
+    }
+
+    #[test]
+    fn evaluate_individuals_preserves_order_and_variables() {
+        let xs = candidates(6);
+        let individuals = EvalBackend::Threads(2).evaluate_individuals(&Schaffer, xs.clone());
+        assert_eq!(individuals.len(), xs.len());
+        for (individual, x) in individuals.iter().zip(&xs) {
+            assert_eq!(&individual.variables, x);
+            assert_eq!(individual.objectives, Schaffer.evaluate(x));
+        }
+    }
+}

@@ -17,11 +17,35 @@ pub struct Individual {
     pub crowding: f64,
 }
 
+/// Samples a decision vector uniformly within `bounds`, one `gen_range` draw
+/// per non-degenerate variable. Pulled out of [`Individual::random`] so that
+/// population initializers can sample every vector up front and evaluate the
+/// whole batch through an [`crate::EvalBackend`] without changing the RNG
+/// stream.
+pub(crate) fn sample_within<R: Rng>(bounds: &[(f64, f64)], rng: &mut R) -> Vec<f64> {
+    bounds
+        .iter()
+        .map(|&(lower, upper)| {
+            if (upper - lower).abs() < f64::EPSILON {
+                lower
+            } else {
+                rng.gen_range(lower..=upper)
+            }
+        })
+        .collect()
+}
+
 impl Individual {
     /// Evaluates a decision vector against a problem.
     pub fn from_variables<P: MultiObjectiveProblem>(problem: &P, variables: Vec<f64>) -> Self {
         let objectives = problem.evaluate(&variables);
         let violation = problem.constraint_violation(&variables);
+        Individual::from_evaluated(variables, objectives, violation)
+    }
+
+    /// Wraps an already-evaluated candidate (rank and crowding unassigned).
+    /// This is how batch evaluation results re-enter the population.
+    pub fn from_evaluated(variables: Vec<f64>, objectives: Vec<f64>, violation: f64) -> Self {
         Individual {
             variables,
             objectives,
@@ -33,17 +57,7 @@ impl Individual {
 
     /// Samples a uniformly random individual within the problem bounds.
     pub fn random<P: MultiObjectiveProblem, R: Rng>(problem: &P, rng: &mut R) -> Self {
-        let variables = problem
-            .bounds()
-            .iter()
-            .map(|&(lower, upper)| {
-                if (upper - lower).abs() < f64::EPSILON {
-                    lower
-                } else {
-                    rng.gen_range(lower..=upper)
-                }
-            })
-            .collect();
+        let variables = sample_within(&problem.bounds(), rng);
         Individual::from_variables(problem, variables)
     }
 
@@ -112,6 +126,11 @@ impl Population {
     /// Extracts the objective vectors of every member.
     pub fn objective_matrix(&self) -> Vec<Vec<f64>> {
         self.members.iter().map(|m| m.objectives.clone()).collect()
+    }
+
+    /// Consumes the population, returning its members without copying them.
+    pub fn into_members(self) -> Vec<Individual> {
+        self.members
     }
 }
 

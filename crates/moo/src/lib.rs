@@ -14,6 +14,8 @@
 //! * [`Archipelago`] / [`Pmo2`] — the island model with periodic migration
 //!   that constitutes PMO2 (the paper's configuration: two NSGA-II islands,
 //!   all-to-all migration every 200 generations with probability 0.5).
+//! * [`EvalBackend`] — batched candidate evaluation, serial or on scoped
+//!   threads; bit-identical to serial for a fixed seed.
 //! * [`metrics`] — the hypervolume indicator and the paper's global/relative
 //!   Pareto coverage metrics (Equations 1–2).
 //! * [`mining`] — trade-off selection strategies: ideal point, Pareto Relative
@@ -44,6 +46,7 @@ mod archipelago;
 mod archive;
 mod crowding;
 mod dominance;
+mod eval;
 mod individual;
 mod moead;
 mod nsga2;
@@ -58,7 +61,11 @@ pub mod robustness;
 pub use archipelago::{Archipelago, ArchipelagoConfig, MigrationTopology, Pmo2};
 pub use archive::ParetoArchive;
 pub use crowding::assign_crowding_distance;
-pub use dominance::{constrained_dominates, dominates, fast_nondominated_sort};
+pub use dominance::{
+    constrained_dominates, dominates, fast_nondominated_sort, fast_nondominated_sort_with,
+    SortScratch,
+};
+pub use eval::EvalBackend;
 pub use individual::{Individual, Population};
 pub use moead::{Moead, MoeadConfig};
 pub use nsga2::{Nsga2, Nsga2Config};

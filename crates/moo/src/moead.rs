@@ -2,7 +2,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::dominance::nondominated_filter;
-use crate::{polynomial_mutation, sbx_crossover, Individual, MultiObjectiveProblem};
+use crate::individual::sample_within;
+use crate::{polynomial_mutation, sbx_crossover, EvalBackend, Individual, MultiObjectiveProblem};
 
 /// Configuration of a MOEA/D run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,6 +20,10 @@ pub struct MoeadConfig {
     pub eta_mutation: f64,
     /// Per-gene mutation probability; `None` uses `1/n`.
     pub mutation_probability: Option<f64>,
+    /// Backend used to evaluate the initial population batch. MOEA/D's
+    /// generation loop updates sub-problems path-dependently and therefore
+    /// stays serial, but initialization is embarrassingly parallel.
+    pub backend: EvalBackend,
 }
 
 impl Default for MoeadConfig {
@@ -30,6 +35,7 @@ impl Default for MoeadConfig {
             eta_crossover: 15.0,
             eta_mutation: 20.0,
             mutation_probability: None,
+            backend: EvalBackend::Serial,
         }
     }
 }
@@ -145,10 +151,15 @@ impl Moead {
             neighborhoods.push(order.into_iter().take(t).collect());
         }
 
-        // Initial population, one individual per sub-problem.
-        let mut population: Vec<Individual> = (0..n)
-            .map(|_| Individual::random(problem, &mut self.rng))
+        // Initial population, one individual per sub-problem: sample every
+        // decision vector first, then evaluate the batch through the backend.
+        let initial_variables: Vec<Vec<f64>> = (0..n)
+            .map(|_| sample_within(&bounds, &mut self.rng))
             .collect();
+        let mut population: Vec<Individual> = self
+            .config
+            .backend
+            .evaluate_individuals(problem, initial_variables);
         let mut ideal: Vec<f64> = vec![f64::INFINITY; problem.num_objectives()];
         for individual in &population {
             for (z, &f) in ideal.iter_mut().zip(&individual.objectives) {

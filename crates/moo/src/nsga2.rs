@@ -1,9 +1,11 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::individual::sample_within;
 use crate::{
-    assign_crowding_distance, fast_nondominated_sort, polynomial_mutation, sbx_crossover,
-    tournament_select, Individual, MultiObjectiveProblem, Population,
+    assign_crowding_distance, fast_nondominated_sort, fast_nondominated_sort_with,
+    polynomial_mutation, sbx_crossover, tournament_select, EvalBackend, Individual,
+    MultiObjectiveProblem, Population, SortScratch,
 };
 
 /// Configuration of an NSGA-II run.
@@ -21,6 +23,9 @@ pub struct Nsga2Config {
     pub mutation_probability: Option<f64>,
     /// Polynomial-mutation distribution index (η_m).
     pub eta_mutation: f64,
+    /// How offspring batches are evaluated. `Threads(n)` is bit-identical to
+    /// `Serial` for a fixed seed; it only changes wall-clock time.
+    pub backend: EvalBackend,
 }
 
 impl Default for Nsga2Config {
@@ -32,6 +37,7 @@ impl Default for Nsga2Config {
             eta_crossover: 15.0,
             mutation_probability: None,
             eta_mutation: 20.0,
+            backend: EvalBackend::Serial,
         }
     }
 }
@@ -55,6 +61,7 @@ pub struct Nsga2 {
     config: Nsga2Config,
     rng: StdRng,
     population: Population,
+    scratch: SortScratch,
 }
 
 impl Nsga2 {
@@ -64,6 +71,7 @@ impl Nsga2 {
             config,
             rng: StdRng::seed_from_u64(seed),
             population: Population::new(),
+            scratch: SortScratch::new(),
         }
     }
 
@@ -77,28 +85,61 @@ impl Nsga2 {
         &self.population
     }
 
-    /// Replaces the current population; used by the archipelago to inject
-    /// migrants. Extra individuals are truncated on the next environmental
-    /// selection.
+    /// Replaces the current population. Extra individuals are truncated on
+    /// the next environmental selection. Ranks and crowding are recomputed
+    /// immediately: the next `step`'s mating tournament reads those fields
+    /// before any environmental selection runs, so stale or foreign
+    /// bookkeeping on the injected individuals must not survive this call.
     pub fn set_population(&mut self, population: Population) {
         self.population = population;
+        self.refresh_ranks();
     }
 
-    /// Initializes the population if needed.
-    pub fn initialize<P: MultiObjectiveProblem>(&mut self, problem: &P) {
-        if self.population.is_empty() {
-            self.population =
-                Population::random(problem, self.config.population_size, &mut self.rng);
-            let mut members: Vec<Individual> = self.population.clone().into_iter().collect();
-            let fronts = fast_nondominated_sort(&mut members);
-            for front in &fronts {
-                assign_crowding_distance(&mut members, front);
-            }
-            self.population = members.into();
+    /// Appends migrant individuals to the current population without copying
+    /// the residents. Extra individuals are truncated on the next
+    /// environmental selection.
+    pub fn inject_migrants<I: IntoIterator<Item = Individual>>(&mut self, migrants: I) {
+        self.population.extend(migrants);
+    }
+
+    /// Re-runs non-dominated sorting and crowding assignment on the current
+    /// population in place, so `rank`/`crowding` reflect its present
+    /// composition. The archipelago calls this after injecting migrants;
+    /// without it, tournament selection would read bookkeeping computed on
+    /// the migrants' *source* island.
+    pub fn refresh_ranks(&mut self) {
+        let members = self.population.members_mut();
+        if members.is_empty() {
+            return;
+        }
+        fast_nondominated_sort_with(members, &mut self.scratch);
+        for rank in 0..self.scratch.num_fronts() {
+            assign_crowding_distance(members, self.scratch.front(rank));
         }
     }
 
-    /// Runs one generation: mating, variation, environmental selection.
+    /// Initializes the population if needed: samples every decision vector
+    /// first (one RNG stream), then evaluates the whole batch through the
+    /// configured backend.
+    pub fn initialize<P: MultiObjectiveProblem>(&mut self, problem: &P) {
+        if !self.population.is_empty() {
+            return;
+        }
+        let bounds = problem.bounds();
+        let variables: Vec<Vec<f64>> = (0..self.config.population_size)
+            .map(|_| sample_within(&bounds, &mut self.rng))
+            .collect();
+        self.population = self
+            .config
+            .backend
+            .evaluate_individuals(problem, variables)
+            .into();
+        self.refresh_ranks();
+    }
+
+    /// Runs one generation: mating and variation first (RNG-driven, serial),
+    /// then one batched evaluation of the full offspring set, then
+    /// environmental selection.
     pub fn step<P: MultiObjectiveProblem>(&mut self, problem: &P) {
         self.initialize(problem);
         let bounds = problem.bounds();
@@ -107,10 +148,10 @@ impl Nsga2 {
             .mutation_probability
             .unwrap_or(1.0 / problem.num_variables() as f64);
 
-        // --- offspring generation ---
+        // --- variation: produce the full offspring batch ---
         let parents = self.population.members();
-        let mut offspring: Vec<Individual> = Vec::with_capacity(self.config.population_size);
-        while offspring.len() < self.config.population_size {
+        let mut children: Vec<Vec<f64>> = Vec::with_capacity(self.config.population_size);
+        while children.len() < self.config.population_size {
             let a = tournament_select(parents, &mut self.rng);
             let b = tournament_select(parents, &mut self.rng);
             let (mut child_a, mut child_b) = if rand::Rng::gen_bool(
@@ -141,45 +182,62 @@ impl Nsga2 {
                 self.config.eta_mutation,
                 &mut self.rng,
             );
-            offspring.push(Individual::from_variables(problem, child_a));
-            if offspring.len() < self.config.population_size {
-                offspring.push(Individual::from_variables(problem, child_b));
+            children.push(child_a);
+            if children.len() < self.config.population_size {
+                children.push(child_b);
             }
         }
 
+        // --- one batched (possibly parallel) evaluation of all offspring ---
+        let offspring = self.config.backend.evaluate_individuals(problem, children);
+
         // --- environmental selection on parents ∪ offspring ---
-        let mut combined: Vec<Individual> = self.population.clone().into_iter().collect();
+        let mut combined = std::mem::take(&mut self.population).into_members();
         combined.extend(offspring);
-        let next = Self::environmental_selection(combined, self.config.population_size);
-        self.population = next;
+        self.population = self.environmental_selection(combined, self.config.population_size);
     }
 
     /// Truncates a combined population to `target` members using
-    /// (rank, crowding) selection.
-    fn environmental_selection(mut combined: Vec<Individual>, target: usize) -> Population {
-        let fronts = fast_nondominated_sort(&mut combined);
-        for front in &fronts {
-            assign_crowding_distance(&mut combined, front);
+    /// (rank, crowding) selection. Index-based: survivors are moved, never
+    /// cloned, and the non-dominated sort reuses the solver's scratch.
+    fn environmental_selection(
+        &mut self,
+        mut combined: Vec<Individual>,
+        target: usize,
+    ) -> Population {
+        fast_nondominated_sort_with(&mut combined, &mut self.scratch);
+        for rank in 0..self.scratch.num_fronts() {
+            assign_crowding_distance(&mut combined, self.scratch.front(rank));
         }
-        let mut selected: Vec<Individual> = Vec::with_capacity(target);
-        for front in &fronts {
-            if selected.len() + front.len() <= target {
-                selected.extend(front.iter().map(|&i| combined[i].clone()));
+        let mut chosen: Vec<usize> = Vec::with_capacity(target);
+        for rank in 0..self.scratch.num_fronts() {
+            let front = self.scratch.front(rank);
+            if chosen.len() + front.len() <= target {
+                chosen.extend_from_slice(front);
+                if chosen.len() == target {
+                    break;
+                }
             } else {
-                let mut remaining: Vec<usize> = front.clone();
+                let mut remaining: Vec<usize> = front.to_vec();
                 remaining.sort_by(|&a, &b| {
                     combined[b]
                         .crowding
                         .partial_cmp(&combined[a].crowding)
                         .expect("crowding distances are not NaN")
                 });
-                for &i in remaining.iter().take(target - selected.len()) {
-                    selected.push(combined[i].clone());
-                }
+                chosen.extend(remaining.iter().take(target - chosen.len()));
                 break;
             }
         }
-        selected.into()
+        let mut slots: Vec<Option<Individual>> = combined.into_iter().map(Some).collect();
+        chosen
+            .into_iter()
+            .map(|i| {
+                slots[i]
+                    .take()
+                    .expect("each survivor index is selected once")
+            })
+            .collect()
     }
 
     /// Runs the configured number of generations and returns the final

@@ -93,8 +93,12 @@ pub fn polynomial_mutation<R: Rng>(
 /// Binary tournament selection on (constrained domination, crowding distance).
 ///
 /// Picks two random members and returns the index of the preferred one: the
-/// dominating individual wins; if neither dominates, the one with the larger
-/// crowding distance wins.
+/// dominating individual wins; if neither dominates, the better rank wins;
+/// within a rank, the larger crowding distance wins. An *exact* crowding tie
+/// (common when both contestants carry the infinite boundary distance) is
+/// broken by a coin flip from the caller's RNG — a `>=` tie-break would
+/// deterministically favor the first-sampled index and bias the selection
+/// pressure.
 ///
 /// # Panics
 ///
@@ -115,7 +119,11 @@ pub fn tournament_select<R: Rng>(population: &[Individual], rng: &mut R) -> usiz
         } else {
             b
         }
-    } else if ind_a.crowding >= ind_b.crowding {
+    } else if ind_a.crowding > ind_b.crowding {
+        a
+    } else if ind_b.crowding > ind_a.crowding {
+        b
+    } else if rng.gen_bool(0.5) {
         a
     } else {
         b
@@ -211,6 +219,35 @@ mod tests {
         }
         // The good individual can only lose when it is not drawn at all.
         assert!(wins_for_good > 140);
+    }
+
+    #[test]
+    fn exact_crowding_ties_are_broken_by_a_coin_flip() {
+        // Two incomparable individuals on the same rank with identical
+        // (infinite) crowding: neither may be deterministically favored.
+        let template = Individual {
+            variables: vec![],
+            objectives: vec![0.0, 1.0],
+            violation: 0.0,
+            rank: 0,
+            crowding: f64::INFINITY,
+        };
+        let mut other = template.clone();
+        other.objectives = vec![1.0, 0.0];
+        let population = vec![template, other];
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut wins_for_first = 0;
+        for _ in 0..2_000 {
+            if tournament_select(&population, &mut rng) == 0 {
+                wins_for_first += 1;
+            }
+        }
+        // Under the old `>=` tie-break the first-sampled index always won,
+        // giving ~75% to index 0 (it wins all ties plus the (0,0) draws).
+        assert!(
+            (800..1_200).contains(&wins_for_first),
+            "tie-breaking is biased: index 0 won {wins_for_first}/2000"
+        );
     }
 
     #[test]

@@ -41,6 +41,24 @@ pub trait MultiObjectiveProblem: Sync {
     /// Evaluates the objective vector (all objectives minimized) at `x`.
     fn evaluate(&self, x: &[f64]) -> Vec<f64>;
 
+    /// Evaluates a batch of decision vectors, returning
+    /// `(objectives, constraint_violation)` per candidate **in batch order**.
+    ///
+    /// The default implementation is a serial map over
+    /// [`MultiObjectiveProblem::evaluate`] and
+    /// [`MultiObjectiveProblem::constraint_violation`]. Problems whose oracle
+    /// amortizes across candidates (shared factorizations, vectorized
+    /// kernels) can override it; the [`crate::EvalBackend`]s call this entry
+    /// point once per chunk, so an override speeds up the serial and the
+    /// threaded path alike. Overrides must stay pure functions of each `x`
+    /// and preserve order, otherwise parallel runs lose bit-identity with
+    /// serial runs.
+    fn evaluate_batch(&self, xs: &[Vec<f64>]) -> Vec<(Vec<f64>, f64)> {
+        xs.iter()
+            .map(|x| (self.evaluate(x), self.constraint_violation(x)))
+            .collect()
+    }
+
     /// Total constraint violation at `x`; `0.0` means feasible. Algorithms use
     /// constrained-domination: feasible solutions dominate infeasible ones and
     /// among infeasible solutions the less-violating one wins.
@@ -74,6 +92,9 @@ impl<T: MultiObjectiveProblem + ?Sized> MultiObjectiveProblem for &T {
     fn evaluate(&self, x: &[f64]) -> Vec<f64> {
         (**self).evaluate(x)
     }
+    fn evaluate_batch(&self, xs: &[Vec<f64>]) -> Vec<(Vec<f64>, f64)> {
+        (**self).evaluate_batch(xs)
+    }
     fn constraint_violation(&self, x: &[f64]) -> f64 {
         (**self).constraint_violation(x)
     }
@@ -98,6 +119,17 @@ mod tests {
         Schaffer.clamp(&mut x);
         let (lower, upper) = Schaffer.bounds()[0];
         assert!(x[0] >= lower && x[0] <= upper);
+    }
+
+    #[test]
+    fn default_batch_evaluation_matches_itemwise_calls() {
+        let xs = vec![vec![0.0], vec![1.0], vec![-2.5]];
+        let batch = Schaffer.evaluate_batch(&xs);
+        assert_eq!(batch.len(), xs.len());
+        for (x, (objectives, violation)) in xs.iter().zip(&batch) {
+            assert_eq!(objectives, &Schaffer.evaluate(x));
+            assert_eq!(*violation, Schaffer.constraint_violation(x));
+        }
     }
 
     #[test]

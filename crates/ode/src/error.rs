@@ -18,6 +18,14 @@ pub enum OdeError {
         /// The step size at which the controller gave up.
         step: f64,
     },
+    /// The hard cap on attempted steps was exhausted before reaching the end
+    /// of the integration interval.
+    MaxStepsExceeded {
+        /// Time reached when the budget ran out.
+        time: f64,
+        /// Number of steps attempted (accepted + rejected).
+        steps: usize,
+    },
     /// The implicit corrector failed to converge.
     NewtonDivergence {
         /// Time of the failed step.
@@ -50,6 +58,9 @@ impl fmt::Display for OdeError {
             }
             OdeError::StepSizeUnderflow { time, step } => {
                 write!(f, "step size underflow ({step:e}) at t = {time}")
+            }
+            OdeError::MaxStepsExceeded { time, steps } => {
+                write!(f, "exhausted the budget of {steps} steps at t = {time}")
             }
             OdeError::NewtonDivergence { time, iterations } => {
                 write!(
@@ -84,6 +95,11 @@ mod tests {
     fn display_is_informative() {
         let e = OdeError::NonFiniteState { time: 1.5 };
         assert!(e.to_string().contains("1.5"));
+        let e = OdeError::MaxStepsExceeded {
+            time: 0.25,
+            steps: 42,
+        };
+        assert!(e.to_string().contains("42") && e.to_string().contains("0.25"));
         let e = OdeError::DimensionMismatch {
             expected: 3,
             found: 2,

@@ -160,12 +160,20 @@ fn integrate_embedded<S: OdeSystem>(
 
     while t < t_end {
         if stats.steps_attempted() >= options.max_steps {
-            return Err(OdeError::StepSizeUnderflow { time: t, step: h });
+            return Err(OdeError::MaxStepsExceeded {
+                time: t,
+                steps: stats.steps_attempted(),
+            });
         }
-        h = h.min(t_end - t).min(options.max_step);
+        // Underflow is only an error when the *controller* drives the step
+        // below `min_step`; test before clamping to the interval end so the
+        // final sliver (`t_end - t < min_step`) integrates instead of
+        // spuriously failing.
+        h = h.min(options.max_step);
         if h < options.min_step {
             return Err(OdeError::StepSizeUnderflow { time: t, step: h });
         }
+        h = h.min(t_end - t);
 
         // Evaluate the six stages.
         for s in 0..6 {
@@ -418,7 +426,7 @@ mod tests {
     }
 
     #[test]
-    fn max_steps_cap_triggers_underflow_error() {
+    fn max_steps_cap_reports_max_steps_exceeded() {
         let options = AdaptiveOptions {
             max_steps: 3,
             initial_step: 1e-6,
@@ -427,8 +435,53 @@ mod tests {
         };
         assert!(matches!(
             Rkf45::new(options).integrate(&Decay { k: 1.0 }, 0.0, Vector::from(vec![1.0]), 1.0),
-            Err(OdeError::StepSizeUnderflow { .. })
+            Err(OdeError::MaxStepsExceeded { steps: 3, .. })
         ));
+    }
+
+    #[test]
+    fn a_single_step_budget_is_reported_as_exhausted() {
+        let options = AdaptiveOptions {
+            max_steps: 1,
+            ..Default::default()
+        };
+        let err = Rkf45::new(options)
+            .integrate(&Decay { k: 1.0 }, 0.0, Vector::from(vec![1.0]), 1.0)
+            .unwrap_err();
+        assert!(matches!(err, OdeError::MaxStepsExceeded { steps: 1, .. }));
+    }
+
+    #[test]
+    fn final_sliver_shorter_than_min_step_integrates() {
+        // The interval end lands inside the last half of `min_step`: the
+        // clamped final step must be taken, not reported as an underflow.
+        let options = AdaptiveOptions::default();
+        let t_end = 0.5 * options.min_step;
+        for solver_result in [
+            Rkf45::new(options).integrate(&Decay { k: 1.0 }, 0.0, Vector::from(vec![1.0]), t_end),
+            CashKarp::new(options).integrate(
+                &Decay { k: 1.0 },
+                0.0,
+                Vector::from(vec![1.0]),
+                t_end,
+            ),
+        ] {
+            let result = solver_result.expect("the clamped final step is allowed");
+            assert!((result.state[0] - 1.0).abs() < 1e-9);
+            assert_eq!(result.time, t_end);
+        }
+    }
+
+    #[test]
+    fn sliver_at_the_end_of_a_long_integration_is_allowed() {
+        // An interval that is many steps long but ends `0.5 * min_step` past
+        // a representable point must also succeed.
+        let options = AdaptiveOptions::default();
+        let t_end = 1.0 + 0.5 * options.min_step;
+        let result = Rkf45::new(options)
+            .integrate(&Decay { k: 1.0 }, 0.0, Vector::from(vec![1.0]), t_end)
+            .expect("trailing sliver must not underflow");
+        assert!((result.state[0] - (-t_end).exp()).abs() < 1e-6);
     }
 
     #[test]

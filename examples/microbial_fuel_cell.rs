@@ -21,10 +21,14 @@ fn main() {
         max_biomass.objective_value, max_electron.objective_value
     );
 
-    // Then run the multi-objective search over the full flux vector.
+    // Then run the multi-objective search over the full flux vector. The
+    // offspring batches of each island are evaluated on 4 worker threads;
+    // swap in `EvalBackend::Serial` and the result is bit-identical, just
+    // slower on multicore hardware.
     let outcome = GeobacterStudy::new()
         .with_reactions(300)
         .with_budget(60, 120)
+        .with_backend(EvalBackend::Threads(4))
         .run(7)
         .expect("the study must run");
 

@@ -1,0 +1,116 @@
+//! Determinism suite: `EvalBackend::Threads(n)` must reproduce
+//! `EvalBackend::Serial` bit-for-bit for a fixed seed on every shipped
+//! problem.
+//!
+//! Variation is RNG-driven and stays serial; only the (pure) objective
+//! oracle runs on worker threads, and batch order is preserved, so parallel
+//! evaluation may change wall-clock time but never the search trajectory.
+//! CI runs this suite explicitly (`cargo test -q -- determinism`) so any
+//! parallel-vs-serial divergence is caught on every push.
+
+use pathway_core::prelude::*;
+use pathway_moo::problems::{Schaffer, Zdt1};
+
+/// Everything that defines an individual's identity, bit-for-bit.
+fn signature(front: &[Individual]) -> Vec<(Vec<f64>, Vec<f64>, f64)> {
+    front
+        .iter()
+        .map(|i| (i.variables.clone(), i.objectives.clone(), i.violation))
+        .collect()
+}
+
+fn nsga2_front<P: MultiObjectiveProblem>(
+    problem: &P,
+    backend: EvalBackend,
+    seed: u64,
+) -> Vec<Individual> {
+    let config = Nsga2Config {
+        population_size: 32,
+        generations: 25,
+        backend,
+        ..Default::default()
+    };
+    Nsga2::new(config, seed).run(problem)
+}
+
+#[test]
+fn determinism_threads_match_serial_on_schaffer() {
+    for seed in [1, 7, 99] {
+        let serial = signature(&nsga2_front(&Schaffer, EvalBackend::Serial, seed));
+        for workers in [2, 4] {
+            let threaded = signature(&nsga2_front(&Schaffer, EvalBackend::Threads(workers), seed));
+            assert_eq!(
+                threaded, serial,
+                "Threads({workers}) diverged at seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn determinism_threads_match_serial_on_zdt1() {
+    let problem = Zdt1 { variables: 8 };
+    for seed in [3, 11] {
+        let serial = signature(&nsga2_front(&problem, EvalBackend::Serial, seed));
+        for workers in [2, 3] {
+            let threaded = signature(&nsga2_front(&problem, EvalBackend::Threads(workers), seed));
+            assert_eq!(
+                threaded, serial,
+                "Threads({workers}) diverged at seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn determinism_threads_match_serial_on_geobacter() {
+    let model = GeobacterModel::builder().reactions(48).seed(5).build();
+    let problem = GeobacterFluxProblem::new(&model).expect("small model is feasible");
+    let config = Nsga2Config {
+        population_size: 20,
+        generations: 10,
+        ..Default::default()
+    };
+    let serial = signature(
+        &Nsga2::new(
+            Nsga2Config {
+                backend: EvalBackend::Serial,
+                ..config
+            },
+            13,
+        )
+        .run(&problem),
+    );
+    for workers in [2, 4] {
+        let threaded = signature(
+            &Nsga2::new(
+                Nsga2Config {
+                    backend: EvalBackend::Threads(workers),
+                    ..config
+                },
+                13,
+            )
+            .run(&problem),
+        );
+        assert_eq!(threaded, serial, "Threads({workers}) diverged on Geobacter");
+    }
+}
+
+#[test]
+fn determinism_archipelago_threads_match_serial() {
+    let archipelago_config = |backend| ArchipelagoConfig {
+        islands: 2,
+        island_config: Nsga2Config {
+            population_size: 24,
+            generations: 20,
+            backend,
+            ..Default::default()
+        },
+        migration_interval: 5,
+        migration_probability: 0.5,
+        topology: MigrationTopology::Broadcast,
+    };
+    let serial = Archipelago::new(archipelago_config(EvalBackend::Serial), 9).run(&Schaffer);
+    let threaded = Archipelago::new(archipelago_config(EvalBackend::Threads(2)), 9).run(&Schaffer);
+    assert_eq!(signature(&threaded), signature(&serial));
+}
