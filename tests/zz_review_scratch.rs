@@ -1,0 +1,83 @@
+//! Throwaway review check: sweep fast path vs textbook reference.
+
+use pathway_moo::{constrained_dominates, fast_nondominated_sort, Individual};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn reference_ranks(individuals: &[Individual]) -> Vec<usize> {
+    let n = individuals.len();
+    let mut count = vec![0usize; n];
+    let mut dominated: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for p in 0..n {
+        for q in 0..n {
+            if p != q && constrained_dominates(&individuals[p], &individuals[q]) {
+                dominated[p].push(q);
+            } else if p != q && constrained_dominates(&individuals[q], &individuals[p]) {
+                count[p] += 1;
+            }
+        }
+    }
+    let mut ranks = vec![0usize; n];
+    let mut current: Vec<usize> = (0..n).filter(|&p| count[p] == 0).collect();
+    let mut rank = 0;
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &p in &current {
+            ranks[p] = rank;
+            for &q in &dominated[p] {
+                count[q] -= 1;
+                if count[q] == 0 {
+                    next.push(q);
+                }
+            }
+        }
+        rank += 1;
+        current = next;
+    }
+    ranks
+}
+
+fn individual(objectives: Vec<f64>, violation: f64) -> Individual {
+    Individual {
+        variables: vec![],
+        objectives,
+        violation,
+        rank: usize::MAX,
+        crowding: 0.0,
+    }
+}
+
+#[test]
+fn sweep_matches_textbook_reference_on_random_bi_objective_populations() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for trial in 0..500 {
+        let n = rng.gen_range(1..40);
+        let mut individuals: Vec<Individual> = (0..n)
+            .map(|_| {
+                // Coarse grid => lots of exact ties and duplicates.
+                let f1 = rng.gen_range(0..6) as f64;
+                let f2 = rng.gen_range(0..6) as f64;
+                let violation = if rng.gen_bool(0.3) {
+                    rng.gen_range(0..4) as f64
+                } else {
+                    0.0
+                };
+                individual(vec![f1, f2], violation)
+            })
+            .collect();
+        let expected = reference_ranks(&individuals);
+        let fronts = fast_nondominated_sort(&mut individuals);
+        let got: Vec<usize> = individuals.iter().map(|i| i.rank).collect();
+        assert_eq!(got, expected, "trial {trial} diverged");
+        // Fronts must be consistent with ranks and cover everyone once.
+        let mut seen = vec![false; n];
+        for (rank, front) in fronts.iter().enumerate() {
+            for &i in front {
+                assert_eq!(individuals[i].rank, rank);
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
