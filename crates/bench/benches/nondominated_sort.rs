@@ -1,12 +1,18 @@
-//! Fast non-dominated sort cost versus population size.
+//! Fast non-dominated sort and crowding-assignment cost versus population
+//! size.
 //!
-//! `alloc` goes through the convenience wrapper (fresh scratch + copied-out
-//! fronts each call); `scratch` reuses a [`SortScratch`] across calls the way
-//! `Nsga2` does every generation, performing no per-call allocations once
-//! the buffers are warm.
+//! `alloc` goes through the convenience wrappers (fresh scratch + copied-out
+//! fronts each call, a fresh index buffer per crowding call); `scratch`
+//! reuses a [`SortScratch`] across calls the way `Nsga2` does every
+//! generation — including crowding assignment via
+//! [`SortScratch::assign_crowding`] — performing no per-call allocations
+//! once the buffers are warm.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pathway_moo::{fast_nondominated_sort, fast_nondominated_sort_with, Individual, SortScratch};
+use pathway_moo::{
+    assign_crowding_distance, fast_nondominated_sort, fast_nondominated_sort_with, Individual,
+    SortScratch,
+};
 
 fn synthetic_population(size: usize) -> Vec<Individual> {
     (0..size)
@@ -44,5 +50,32 @@ fn bench_sort(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sort);
+fn bench_crowding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crowding_assignment");
+    group.sample_size(20);
+    for &size in &[100usize, 200, 400] {
+        group.bench_with_input(BenchmarkId::new("alloc", size), &size, |b, &size| {
+            let mut population = synthetic_population(size);
+            let fronts = fast_nondominated_sort(&mut population);
+            b.iter(|| {
+                for front in &fronts {
+                    assign_crowding_distance(&mut population, front);
+                }
+                population.len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("scratch", size), &size, |b, &size| {
+            let mut population = synthetic_population(size);
+            let mut scratch = SortScratch::new();
+            fast_nondominated_sort_with(&mut population, &mut scratch);
+            b.iter(|| {
+                scratch.assign_crowding(&mut population);
+                population.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sort, bench_crowding);
 criterion_main!(benches);

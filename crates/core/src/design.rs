@@ -1,11 +1,10 @@
 use pathway_fba::geobacter::GeobacterModel;
+use pathway_moo::engine::StoppingRule;
 use pathway_moo::robustness::{global_yield, RobustnessOptions};
-use pathway_moo::{
-    mining, Archipelago, ArchipelagoConfig, EvalBackend, MigrationTopology, Nsga2Config,
-};
+use pathway_moo::{mining, ArchipelagoConfig, EvalBackend, Individual};
 use pathway_photosynthesis::{EnzymePartition, Scenario};
 
-use crate::{GeobacterFluxProblem, GeobacterSolution, LeafRedesignProblem};
+use crate::{GeobacterFluxProblem, GeobacterSolution, LeafRedesignProblem, Study};
 
 /// A re-engineered leaf design: enzyme partition plus its evaluated
 /// objectives.
@@ -34,6 +33,10 @@ pub struct SelectedLeafDesigns {
 }
 
 /// Result of a leaf-redesign study.
+///
+/// Build one from any engine-produced front with
+/// [`LeafDesignOutcome::from_front`], or let the [`LeafDesignStudy`]
+/// wrapper produce it.
 #[derive(Debug, Clone)]
 pub struct LeafDesignOutcome {
     /// The scenario that was optimized.
@@ -47,6 +50,26 @@ pub struct LeafDesignOutcome {
 }
 
 impl LeafDesignOutcome {
+    /// Decodes an engine-produced front (e.g. from
+    /// [`Study::run`] or a `Driver` over the
+    /// [`LeafRedesignProblem`]) into leaf designs: objective 0 is the
+    /// negated CO₂ uptake, objective 1 the protein nitrogen.
+    pub fn from_front(scenario: Scenario, front: Vec<Individual>, evaluations: usize) -> Self {
+        let designs = front
+            .into_iter()
+            .map(|individual| LeafDesign {
+                uptake: -individual.objectives[0],
+                nitrogen: individual.objectives[1],
+                partition: EnzymePartition::new(individual.variables),
+            })
+            .collect();
+        LeafDesignOutcome {
+            scenario,
+            front: designs,
+            evaluations,
+        }
+    }
+
     /// The design with the highest CO₂ uptake.
     ///
     /// # Panics
@@ -168,16 +191,18 @@ impl LeafDesignOutcome {
 
 /// An end-to-end leaf redesign study: PMO2 over the [`LeafRedesignProblem`]
 /// followed by front mining and robustness screening.
+///
+/// This is a thin compatibility wrapper over the generic [`Study`] facade —
+/// prefer `Study::new(LeafRedesignProblem::new(scenario))` for new code,
+/// which additionally exposes observers, extra stopping rules and
+/// checkpoint/resume through [`Study::driver`]. The wrapper adds only the
+/// scenario bookkeeping and the robustness-trial budget that
+/// [`LeafDesignOutcome`] screening uses.
 #[derive(Debug, Clone)]
 pub struct LeafDesignStudy {
     scenario: Scenario,
-    islands: usize,
-    population: usize,
-    generations: usize,
-    migration_interval: usize,
-    migration_probability: f64,
     robustness_trials: usize,
-    backend: EvalBackend,
+    study: Study<LeafRedesignProblem>,
 }
 
 impl LeafDesignStudy {
@@ -187,37 +212,29 @@ impl LeafDesignStudy {
     pub fn new(scenario: Scenario) -> Self {
         LeafDesignStudy {
             scenario,
-            islands: 2,
-            population: 80,
-            generations: 400,
-            migration_interval: 200,
-            migration_probability: 0.5,
             robustness_trials: 5_000,
-            backend: EvalBackend::Serial,
+            study: Study::new(LeafRedesignProblem::new(scenario)),
         }
     }
 
     /// Overrides the per-island population size and total generation count.
     #[must_use]
     pub fn with_budget(mut self, population: usize, generations: usize) -> Self {
-        self.population = population;
-        self.generations = generations;
-        self.migration_interval = self.migration_interval.min(generations.max(1));
+        self.study = self.study.with_budget(population, generations);
         self
     }
 
     /// Overrides the number of islands.
     #[must_use]
     pub fn with_islands(mut self, islands: usize) -> Self {
-        self.islands = islands;
+        self.study = self.study.with_islands(islands);
         self
     }
 
     /// Overrides the migration interval and probability.
     #[must_use]
     pub fn with_migration(mut self, interval: usize, probability: f64) -> Self {
-        self.migration_interval = interval;
-        self.migration_probability = probability;
+        self.study = self.study.with_migration(interval, probability);
         self
     }
 
@@ -234,7 +251,15 @@ impl LeafDesignStudy {
     /// bit-identical across backends for a fixed seed.
     #[must_use]
     pub fn with_backend(mut self, backend: EvalBackend) -> Self {
-        self.backend = backend;
+        self.study = self.study.with_backend(backend);
+        self
+    }
+
+    /// Adds a stopping rule beside the generation budget (e.g. hypervolume
+    /// stagnation for early convergence exits).
+    #[must_use]
+    pub fn with_stopping(mut self, rule: StoppingRule) -> Self {
+        self.study = self.study.with_stopping(rule);
         self
     }
 
@@ -248,40 +273,21 @@ impl LeafDesignStudy {
         &self.scenario
     }
 
+    /// The underlying generic study, for driver-level access (observers,
+    /// checkpoints).
+    pub fn study(&self) -> &Study<LeafRedesignProblem> {
+        &self.study
+    }
+
     /// The archipelago configuration this study will run.
     pub fn archipelago_config(&self) -> ArchipelagoConfig {
-        ArchipelagoConfig {
-            islands: self.islands,
-            island_config: Nsga2Config {
-                population_size: self.population,
-                generations: self.generations,
-                backend: self.backend,
-                ..Default::default()
-            },
-            migration_interval: self.migration_interval,
-            migration_probability: self.migration_probability,
-            topology: MigrationTopology::Broadcast,
-        }
+        self.study.archipelago_config()
     }
 
     /// Runs the study with a deterministic seed.
     pub fn run(&self, seed: u64) -> LeafDesignOutcome {
-        let problem = LeafRedesignProblem::new(self.scenario);
-        let archipelago = Archipelago::new(self.archipelago_config(), seed);
-        let front = archipelago.run(&problem);
-        let designs = front
-            .into_iter()
-            .map(|individual| LeafDesign {
-                partition: EnzymePartition::new(individual.variables.clone()),
-                uptake: -individual.objectives[0],
-                nitrogen: individual.objectives[1],
-            })
-            .collect();
-        LeafDesignOutcome {
-            scenario: self.scenario,
-            front: designs,
-            evaluations: self.islands * self.population * (self.generations + 1),
-        }
+        let outcome = self.study.run(seed);
+        LeafDesignOutcome::from_front(self.scenario, outcome.front, outcome.evaluations)
     }
 }
 
@@ -313,6 +319,11 @@ impl GeobacterOutcome {
 }
 
 /// An end-to-end Geobacter study: PMO2 over the [`GeobacterFluxProblem`].
+///
+/// This is a thin compatibility wrapper over the generic [`Study`] facade
+/// (the model — and therefore the problem — depends on the run seed, so the
+/// wrapper builds a fresh `Study` per run). Prefer constructing a
+/// [`GeobacterFluxProblem`] and a `Study` directly for new code.
 #[derive(Debug, Clone)]
 pub struct GeobacterStudy {
     reactions: usize,
@@ -377,22 +388,16 @@ impl GeobacterStudy {
         let initial_violation =
             pathway_fba::steady_state_violation(problem.model(), &random_guess)?;
 
-        let config = ArchipelagoConfig {
-            islands: self.islands,
-            island_config: Nsga2Config {
-                population_size: self.population,
-                generations: self.generations,
-                backend: self.backend,
-                ..Default::default()
-            },
-            migration_interval: (self.generations / 2).max(1),
-            migration_probability: 0.5,
-            topology: MigrationTopology::Broadcast,
-        };
-        let front = Archipelago::new(config, seed).run(&problem);
-        let solutions: Vec<GeobacterSolution> = front
+        let study = Study::new(problem)
+            .with_islands(self.islands)
+            .with_budget(self.population, self.generations)
+            .with_migration((self.generations / 2).max(1), 0.5)
+            .with_backend(self.backend);
+        let outcome = study.run(seed);
+        let solutions: Vec<GeobacterSolution> = outcome
+            .front
             .iter()
-            .map(|individual| problem.decode(&individual.variables))
+            .map(|individual| study.problem().decode(&individual.variables))
             .collect();
         let best_violation = solutions
             .iter()

@@ -8,7 +8,10 @@
 //!    protein nitrogen) and the ***Geobacter sulfurreducens*** flux problem
 //!    (maximize electron and biomass production near steady state);
 //! 2. approximate the Pareto front with **PMO2** (an archipelago of NSGA-II
-//!    islands with periodic migration);
+//!    islands with periodic migration), driven through the generic
+//!    [`Study`] facade and the step-driven engine of
+//!    [`pathway_moo::engine`] (observers, early stopping,
+//!    checkpoint/resume);
 //! 3. **mine** the front: closest-to-ideal, shadow minima, equally spaced
 //!    representatives;
 //! 4. score the mined candidates with the **robustness yield** Γ under
@@ -36,6 +39,7 @@ mod design;
 mod geobacter_problem;
 mod photosynthesis_problem;
 mod report;
+mod study;
 
 pub mod prelude;
 
@@ -48,3 +52,4 @@ pub use photosynthesis_problem::LeafRedesignProblem;
 pub use report::{
     render_table, CoverageRow, Figure1Series, Figure2Bar, Figure4Point, SelectionRow,
 };
+pub use study::{Study, StudyOutcome};

@@ -9,11 +9,16 @@
 
 pub use crate::{
     GeobacterFluxProblem, GeobacterOutcome, GeobacterSolution, GeobacterStudy, LeafDesign,
-    LeafDesignOutcome, LeafDesignStudy, LeafRedesignProblem, SelectedLeafDesigns,
+    LeafDesignOutcome, LeafDesignStudy, LeafRedesignProblem, SelectedLeafDesigns, Study,
+    StudyOutcome,
 };
 
 pub use pathway_fba::geobacter::GeobacterModel;
 pub use pathway_fba::{FluxBalanceAnalysis, MetabolicModel};
+pub use pathway_moo::engine::{
+    Driver, EngineError, GenerationReport, HistoryObserver, LogObserver, NullObserver, Observer,
+    Optimizer, OptimizerState, RunCheckpoint, StoppingRule,
+};
 pub use pathway_moo::{
     Archipelago, ArchipelagoConfig, EvalBackend, Individual, MigrationTopology, Moead, MoeadConfig,
     MultiObjectiveProblem, Nsga2, Nsga2Config, Pmo2,

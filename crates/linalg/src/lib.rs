@@ -41,7 +41,7 @@ mod vector;
 pub mod simplex;
 
 pub use error::LinalgError;
-pub use lp::{Bound, LinearProgram, LpSolution, LpStatus, Objective};
+pub use lp::{Bound, Constraint, LinearProgram, LpSolution, LpStatus, Objective, Relation};
 pub use lu::LuDecomposition;
 pub use matrix::Matrix;
 pub use sparse::CsrMatrix;

@@ -1,8 +1,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::dominance::{fast_nondominated_sort_with, SortScratch};
-use crate::{Individual, MultiObjectiveProblem, Nsga2, Nsga2Config};
+use crate::engine::{ArchipelagoState, EngineError, Optimizer, OptimizerState, RngState};
+use crate::{Individual, MultiObjectiveProblem, Nsga2, Nsga2Config, ParetoArchive};
 
 /// Topology describing which islands exchange migrants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -24,9 +24,9 @@ pub struct ArchipelagoConfig {
     /// Number of islands (the paper uses 2).
     pub islands: usize,
     /// NSGA-II configuration used on every island. `generations` here is the
-    /// total evolution length of the archipelago. The evaluation backend is
-    /// configured here too (`island_config.backend`): each island applies it
-    /// to its own offspring batches, multiplying the coarse-grained island
+    /// total evolution length of [`Archipelago::run`]. The evaluation backend
+    /// is configured here too (`island_config.backend`): each island applies
+    /// it to its own offspring batches, multiplying the coarse-grained island
     /// parallelism by fine-grained evaluation parallelism.
     pub island_config: Nsga2Config,
     /// Number of generations between migrations (the paper uses 200).
@@ -55,9 +55,22 @@ impl Default for ArchipelagoConfig {
 ///
 /// The paper's reference configuration — two NSGA-II islands, all-to-all
 /// (broadcast) migration every 200 generations with probability 0.5 — is the
-/// default. Islands evolve on separate threads (coarse-grained parallelism)
-/// and synchronize at every migration point, so the result is deterministic
-/// for a given seed regardless of thread scheduling.
+/// default. The archipelago is step-driven: every [`Archipelago::step`]
+/// advances each island by one generation (islands run on separate threads,
+/// coarse-grained parallelism), and a migration event fires lazily at each
+/// epoch boundary — i.e. before the first step of each new
+/// `migration_interval`-generation epoch, which reproduces the classic
+/// "migrate between epochs, but not after the last one" schedule while
+/// making the archipelago driveable and checkpointable at *any* generation
+/// by a [`crate::engine::Driver`]. Results are deterministic for a given
+/// seed regardless of thread scheduling.
+///
+/// Migration exports are served incrementally from per-island
+/// [`ParetoArchive`]s: at each migration event an island's current
+/// non-dominated front (read straight from its rank bookkeeping, no
+/// population clone or re-sort) is folded into its archive, and the archive
+/// members — the island's best solutions across *all* epochs so far — are
+/// what the other islands receive.
 ///
 /// # Example
 ///
@@ -77,6 +90,10 @@ impl Default for ArchipelagoConfig {
 pub struct Archipelago {
     config: ArchipelagoConfig,
     seed: u64,
+    islands: Vec<Nsga2>,
+    archives: Vec<ParetoArchive>,
+    migration_rng: StdRng,
+    generations_done: usize,
 }
 
 /// Alias emphasising that the archipelago with its default configuration *is*
@@ -96,7 +113,28 @@ impl Archipelago {
             config.migration_interval > 0,
             "migration interval must be positive"
         );
-        Archipelago { config, seed }
+        let islands: Vec<Nsga2> = (0..config.islands)
+            .map(|i| {
+                let island_config = Nsga2Config {
+                    // Islands are driven per generation by the archipelago;
+                    // their own generation budget is unused.
+                    generations: 0,
+                    ..config.island_config
+                };
+                Nsga2::new(island_config, seed.wrapping_add(1 + i as u64))
+            })
+            .collect();
+        let archive_capacity = config.island_config.population_size.max(1);
+        Archipelago {
+            config,
+            seed,
+            islands,
+            archives: (0..config.islands)
+                .map(|_| ParetoArchive::new(archive_capacity))
+                .collect(),
+            migration_rng: StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9)),
+            generations_done: 0,
+        }
     }
 
     /// The configuration.
@@ -104,64 +142,105 @@ impl Archipelago {
         &self.config
     }
 
-    /// Runs the archipelago and returns the merged non-dominated front across
-    /// all islands.
-    pub fn run<P: MultiObjectiveProblem>(&self, problem: &P) -> Vec<Individual> {
-        let total_generations = self.config.island_config.generations;
-        let mut islands: Vec<Nsga2> = (0..self.config.islands)
-            .map(|i| {
-                let island_config = Nsga2Config {
-                    // Each island runs `migration_interval` generations per epoch.
-                    generations: 0,
-                    ..self.config.island_config
-                };
-                Nsga2::new(island_config, self.seed.wrapping_add(1 + i as u64))
-            })
-            .collect();
-        let mut migration_rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9));
+    /// The seed this archipelago (and its islands) were derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
 
-        let mut generations_done = 0;
-        while generations_done < total_generations {
-            let epoch = self
-                .config
-                .migration_interval
-                .min(total_generations - generations_done);
+    /// Number of generations every island has completed.
+    pub fn generations_done(&self) -> usize {
+        self.generations_done
+    }
 
-            // Evolve every island for one epoch, in parallel.
+    /// The islands, in index order.
+    pub fn islands(&self) -> &[Nsga2] {
+        &self.islands
+    }
+
+    /// Cumulative candidate evaluations spent across all islands.
+    pub fn evaluations(&self) -> usize {
+        self.islands.iter().map(Nsga2::evaluations).sum()
+    }
+
+    /// Initializes every island's population if that has not happened yet.
+    /// Idempotent.
+    pub fn initialize<P: MultiObjectiveProblem>(&mut self, problem: &P) {
+        if self
+            .islands
+            .iter()
+            .all(|island| !island.population().is_empty())
+        {
+            return;
+        }
+        if self.islands.len() == 1 {
+            self.islands[0].initialize(problem);
+            return;
+        }
+        std::thread::scope(|scope| {
+            for island in self.islands.iter_mut() {
+                scope.spawn(move || island.initialize(problem));
+            }
+        });
+    }
+
+    /// Advances every island by one generation (in parallel), firing the
+    /// migration event lazily at each epoch boundary first. Initializes the
+    /// islands if needed.
+    pub fn step<P: MultiObjectiveProblem>(&mut self, problem: &P) {
+        self.initialize(problem);
+        if self.generations_done > 0
+            && self
+                .generations_done
+                .is_multiple_of(self.config.migration_interval)
+        {
+            self.migrate();
+        }
+        if self.islands.len() == 1 {
+            self.islands[0].step(problem);
+        } else {
             std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for island in islands.iter_mut() {
-                    handles.push(scope.spawn(move || {
-                        for _ in 0..epoch {
-                            island.step(problem);
-                        }
-                    }));
-                }
-                for handle in handles {
-                    handle.join().expect("island thread must not panic");
+                for island in self.islands.iter_mut() {
+                    scope.spawn(move || island.step(problem));
                 }
             });
-            generations_done += epoch;
-
-            if generations_done < total_generations {
-                self.migrate(&mut islands, &mut migration_rng);
-            }
         }
+        self.generations_done += 1;
+    }
 
-        // Merge the islands' populations and extract the global front.
-        let mut merged: Vec<Individual> = islands
+    /// Runs the configured number of generations
+    /// (`island_config.generations`) and returns the merged non-dominated
+    /// front across all islands. Continues from wherever previous `step` /
+    /// `run` calls left the archipelago.
+    pub fn run<P: MultiObjectiveProblem>(&mut self, problem: &P) -> Vec<Individual> {
+        self.initialize(problem);
+        for _ in 0..self.config.island_config.generations {
+            self.step(problem);
+        }
+        self.front()
+    }
+
+    /// The merged non-dominated front across all islands' current
+    /// populations, sorted by objectives and deduplicated (broadcast
+    /// migration copies solutions between islands).
+    ///
+    /// Candidates are borrowed from the islands' rank bookkeeping and
+    /// filtered pairwise, so only the surviving front members are cloned —
+    /// this runs once per generation on observed [`crate::engine::Driver`]
+    /// runs and must not re-sort or copy whole populations.
+    pub fn front(&self) -> Vec<Individual> {
+        let candidates: Vec<&Individual> = self
+            .islands
             .iter()
-            .flat_map(|island| island.nondominated_front())
+            .flat_map(|island| island.population().iter().filter(|m| m.rank == 0))
             .collect();
-        if merged.is_empty() {
-            return merged;
-        }
-        let mut scratch = SortScratch::new();
-        fast_nondominated_sort_with(&mut merged, &mut scratch);
-        let mut front: Vec<Individual> = scratch
-            .front(0)
+        let mut front: Vec<Individual> = candidates
             .iter()
-            .map(|&i| merged[i].clone())
+            .filter(|candidate| {
+                !candidates
+                    .iter()
+                    .any(|other| crate::constrained_dominates(other, candidate))
+            })
+            .map(|candidate| (*candidate).clone())
             .collect();
         // Deduplicate identical objective vectors that may arise from broadcast copies.
         front.sort_by(|a, b| {
@@ -175,26 +254,52 @@ impl Archipelago {
 
     /// Performs one migration event according to the configured topology.
     ///
-    /// Migrants are appended to the target populations in place (the
-    /// residents are never copied), and every island that received migrants
-    /// re-runs non-dominated sorting and crowding afterwards: the injected
-    /// individuals carry `rank`/`crowding` computed on their *source* island,
-    /// and the next epoch's tournament selection reads those fields before
-    /// any environmental selection runs.
-    fn migrate(&self, islands: &mut [Nsga2], rng: &mut StdRng) {
-        if matches!(self.config.topology, MigrationTopology::Isolated) || islands.len() < 2 {
+    /// Each island's export is its [`ParetoArchive`], refreshed with the
+    /// island's current front first (the archive keeps the island's best
+    /// feasible solutions across all epochs; if it is empty — e.g. every
+    /// solution so far is infeasible — the current front is exported
+    /// directly). Migrants are appended to the target populations in place
+    /// (the residents are never copied), and every island that received
+    /// migrants re-runs non-dominated sorting and crowding afterwards: the
+    /// injected individuals carry `rank`/`crowding` computed on their
+    /// *source* island, and the next generation's tournament selection reads
+    /// those fields before any environmental selection runs.
+    fn migrate(&mut self) {
+        if matches!(self.config.topology, MigrationTopology::Isolated) || self.islands.len() < 2 {
             return;
         }
-        // Snapshot each island's non-dominated set before mixing.
-        let exports: Vec<Vec<Individual>> = islands
+        // Refresh each island's archive with its current front, then export
+        // the archive members.
+        let exports: Vec<Vec<Individual>> = self
+            .islands
             .iter()
-            .map(|island| island.nondominated_front())
+            .zip(self.archives.iter_mut())
+            .map(|(island, archive)| {
+                let current_front = island.nondominated_front();
+                // The archive can stay empty only if it was empty and every
+                // candidate is infeasible; keep a fallback copy for exactly
+                // that case instead of recomputing the front.
+                let fallback = if archive.is_empty() {
+                    current_front.clone()
+                } else {
+                    Vec::new()
+                };
+                archive.extend(current_front);
+                if archive.is_empty() {
+                    fallback
+                } else {
+                    archive.members().to_vec()
+                }
+            })
             .collect();
 
-        let n = islands.len();
+        let n = self.islands.len();
         let mut received = vec![false; n];
         for (source, export) in exports.iter().enumerate() {
-            if !rng.gen_bool(self.config.migration_probability.clamp(0.0, 1.0)) {
+            if !self
+                .migration_rng
+                .gen_bool(self.config.migration_probability.clamp(0.0, 1.0))
+            {
                 continue;
             }
             let targets = match self.config.topology {
@@ -209,14 +314,123 @@ impl Archipelago {
                 if target == source {
                     continue;
                 }
-                islands[target].inject_migrants(export.iter().cloned());
+                self.islands[target].inject_migrants(export.iter().cloned());
                 received[target] = true;
             }
         }
-        for (island, got_migrants) in islands.iter_mut().zip(received) {
+        for (island, got_migrants) in self.islands.iter_mut().zip(received) {
             if got_migrants {
                 island.refresh_ranks();
             }
+        }
+    }
+
+    /// Captures the archipelago's run state (every island's snapshot, the
+    /// migration archives and RNG, the generation counter) as plain data.
+    pub(crate) fn snapshot(&self) -> ArchipelagoState {
+        ArchipelagoState {
+            islands: self.islands.iter().map(Nsga2::snapshot).collect(),
+            archives: self
+                .archives
+                .iter()
+                .map(|archive| archive.members().to_vec())
+                .collect(),
+            migration_rng: RngState::capture(&self.migration_rng),
+            generations_done: self.generations_done,
+        }
+    }
+
+    /// Restores a snapshot captured with [`Archipelago::snapshot`].
+    pub(crate) fn restore_snapshot(&mut self, state: ArchipelagoState) -> Result<(), EngineError> {
+        if state.islands.len() != self.islands.len() {
+            return Err(EngineError::ConfigMismatch {
+                detail: format!(
+                    "snapshot has {} islands but this archipelago has {}",
+                    state.islands.len(),
+                    self.islands.len()
+                ),
+            });
+        }
+        if state.archives.len() != self.archives.len() {
+            return Err(EngineError::ConfigMismatch {
+                detail: format!(
+                    "snapshot has {} archives but this archipelago has {}",
+                    state.archives.len(),
+                    self.archives.len()
+                ),
+            });
+        }
+        // Validate every island snapshot before touching any state, so a
+        // rejected restore leaves the archipelago untouched.
+        let expected = self.config.island_config.population_size;
+        for (index, snapshot) in state.islands.iter().enumerate() {
+            if !snapshot.population.is_empty() && snapshot.population.len() != expected {
+                return Err(EngineError::ConfigMismatch {
+                    detail: format!(
+                        "island {index} snapshot holds {} individuals but the islands are \
+                         configured for {expected}",
+                        snapshot.population.len()
+                    ),
+                });
+            }
+        }
+        for (island, snapshot) in self.islands.iter_mut().zip(state.islands) {
+            island
+                .restore_snapshot(snapshot)
+                .expect("island snapshots were validated above");
+        }
+        let capacity = self.config.island_config.population_size.max(1);
+        for (archive, members) in self.archives.iter_mut().zip(state.archives) {
+            // Archive members are mutually non-dominated and feasible, so
+            // re-inserting them in captured order reproduces the archive
+            // bit for bit.
+            let mut rebuilt = ParetoArchive::new(capacity);
+            for member in members {
+                rebuilt.insert(member);
+            }
+            *archive = rebuilt;
+        }
+        self.migration_rng = state.migration_rng.rebuild();
+        self.generations_done = state.generations_done;
+        Ok(())
+    }
+}
+
+impl<P: MultiObjectiveProblem> Optimizer<P> for Archipelago {
+    fn initialize(&mut self, problem: &P) {
+        Archipelago::initialize(self, problem);
+    }
+
+    fn step(&mut self, problem: &P) {
+        Archipelago::step(self, problem);
+    }
+
+    fn population(&self) -> Vec<Individual> {
+        self.islands
+            .iter()
+            .flat_map(|island| island.population().members().iter().cloned())
+            .collect()
+    }
+
+    fn front(&self) -> Vec<Individual> {
+        Archipelago::front(self)
+    }
+
+    fn evaluations(&self) -> usize {
+        Archipelago::evaluations(self)
+    }
+
+    fn state(&self) -> OptimizerState {
+        OptimizerState::Archipelago(self.snapshot())
+    }
+
+    fn restore(&mut self, state: OptimizerState) -> Result<(), EngineError> {
+        match state {
+            OptimizerState::Archipelago(snapshot) => self.restore_snapshot(snapshot),
+            other => Err(EngineError::StateMismatch {
+                expected: "Archipelago",
+                found: other.kind(),
+            }),
         }
     }
 }
@@ -271,6 +485,28 @@ mod tests {
         assert_eq!(
             a.iter().map(|i| i.objectives.clone()).collect::<Vec<_>>(),
             b.iter().map(|i| i.objectives.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn stepwise_run_matches_monolithic_run() {
+        let monolithic = Archipelago::new(config(2, 15, 4), 31).run(&Schaffer);
+        let mut stepped = Archipelago::new(config(2, 15, 4), 31);
+        stepped.initialize(&Schaffer);
+        for _ in 0..15 {
+            stepped.step(&Schaffer);
+        }
+        assert_eq!(stepped.generations_done(), 15);
+        assert_eq!(
+            monolithic
+                .iter()
+                .map(|i| i.objectives.clone())
+                .collect::<Vec<_>>(),
+            stepped
+                .front()
+                .iter()
+                .map(|i| i.objectives.clone())
+                .collect::<Vec<_>>()
         );
     }
 

@@ -6,7 +6,32 @@ use crate::Individual;
 /// objective receive an infinite distance so they are always preserved; the
 /// others receive the normalized side length of the cuboid formed by their
 /// nearest neighbours along each objective.
+///
+/// This convenience wrapper allocates a fresh index buffer per call; hot
+/// paths that assign crowding every generation should reuse the buffers
+/// folded into [`crate::SortScratch`] via
+/// [`crate::SortScratch::assign_crowding`].
 pub fn assign_crowding_distance(individuals: &mut [Individual], front: &[usize]) {
+    let mut order = Vec::new();
+    assign_crowding_with_order(individuals, front, &mut order);
+}
+
+/// Crowding assignment over a reusable index buffer: `order` is cleared,
+/// refilled from `front` and sorted once per objective, so after the first
+/// call at a given front size the assignment performs no allocations.
+///
+/// Exact objective ties are broken by front position, which reproduces a
+/// stable sort of the front order while keeping the sort allocation-free
+/// (`sort_unstable_by`).
+///
+/// # Panics
+///
+/// Panics if any compared objective value is NaN.
+pub(crate) fn assign_crowding_with_order(
+    individuals: &mut [Individual],
+    front: &[usize],
+    order: &mut Vec<u32>,
+) {
     if front.is_empty() {
         return;
     }
@@ -21,23 +46,28 @@ pub fn assign_crowding_distance(individuals: &mut [Individual], front: &[usize])
     }
     let num_objectives = individuals[front[0]].objectives.len();
     for m in 0..num_objectives {
-        let mut sorted: Vec<usize> = front.to_vec();
-        sorted.sort_by(|&a, &b| {
-            individuals[a].objectives[m]
-                .partial_cmp(&individuals[b].objectives[m])
+        order.clear();
+        order.extend(0..front.len() as u32);
+        order.sort_unstable_by(|&a, &b| {
+            individuals[front[a as usize]].objectives[m]
+                .partial_cmp(&individuals[front[b as usize]].objectives[m])
                 .expect("objective values must not be NaN")
+                .then_with(|| a.cmp(&b))
         });
-        let min = individuals[sorted[0]].objectives[m];
-        let max = individuals[*sorted.last().expect("front is non-empty")].objectives[m];
+        let first = front[order[0] as usize];
+        let last = front[order[order.len() - 1] as usize];
+        let min = individuals[first].objectives[m];
+        let max = individuals[last].objectives[m];
         let range = (max - min).max(f64::EPSILON);
 
-        individuals[sorted[0]].crowding = f64::INFINITY;
-        individuals[*sorted.last().expect("front is non-empty")].crowding = f64::INFINITY;
-        for w in 1..sorted.len() - 1 {
-            let previous = individuals[sorted[w - 1]].objectives[m];
-            let next = individuals[sorted[w + 1]].objectives[m];
-            if individuals[sorted[w]].crowding.is_finite() {
-                individuals[sorted[w]].crowding += (next - previous) / range;
+        individuals[first].crowding = f64::INFINITY;
+        individuals[last].crowding = f64::INFINITY;
+        for w in 1..order.len() - 1 {
+            let previous = individuals[front[order[w - 1] as usize]].objectives[m];
+            let next = individuals[front[order[w + 1] as usize]].objectives[m];
+            let current = front[order[w] as usize];
+            if individuals[current].crowding.is_finite() {
+                individuals[current].crowding += (next - previous) / range;
             }
         }
     }
@@ -111,5 +141,29 @@ mod tests {
         ];
         assign_crowding_distance(&mut individuals, &[0, 1, 2]);
         assert!(individuals.iter().all(|i| !i.crowding.is_nan()));
+    }
+
+    #[test]
+    fn reused_buffer_matches_the_allocating_wrapper() {
+        let points: Vec<Individual> = (0..12)
+            .map(|i| {
+                let x = i as f64 * 0.7;
+                individual(vec![x.sin() + 2.0, x.cos() + 2.0])
+            })
+            .collect();
+        let front: Vec<usize> = (0..points.len()).collect();
+
+        let mut via_wrapper = points.clone();
+        assign_crowding_distance(&mut via_wrapper, &front);
+
+        let mut via_buffer = points;
+        let mut order = Vec::new();
+        assign_crowding_with_order(&mut via_buffer, &front, &mut order);
+        // Exercise reuse: a second pass over the warm buffer changes nothing.
+        assign_crowding_with_order(&mut via_buffer, &front, &mut order);
+
+        for (a, b) in via_wrapper.iter().zip(&via_buffer) {
+            assert_eq!(a.crowding, b.crowding);
+        }
     }
 }

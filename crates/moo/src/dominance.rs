@@ -75,6 +75,9 @@ pub struct SortScratch {
     fronts_flat: Vec<usize>,
     /// Exclusive end offset of each front within `fronts_flat`.
     front_ends: Vec<usize>,
+    /// Reusable index buffer for crowding assignment (one sort per
+    /// objective per front, no per-call allocation).
+    crowding_order: Vec<u32>,
 }
 
 impl SortScratch {
@@ -105,6 +108,30 @@ impl SortScratch {
     /// Iterates the fronts of the last sort, best front first.
     pub fn fronts(&self) -> impl Iterator<Item = &[usize]> {
         (0..self.num_fronts()).map(move |rank| self.front(rank))
+    }
+
+    /// Assigns crowding distances to every front of the last sort, reusing
+    /// this scratch's index buffer so the whole selection pass stays
+    /// allocation-free once the buffers are warm.
+    ///
+    /// `individuals` must be the same slice (same length and order) the last
+    /// [`fast_nondominated_sort_with`] call ranked.
+    pub fn assign_crowding(&mut self, individuals: &mut [Individual]) {
+        let SortScratch {
+            fronts_flat,
+            front_ends,
+            crowding_order,
+            ..
+        } = self;
+        let mut start = 0usize;
+        for &end in front_ends.iter() {
+            crate::crowding::assign_crowding_with_order(
+                individuals,
+                &fronts_flat[start..end],
+                crowding_order,
+            );
+            start = end;
+        }
     }
 
     fn reset(&mut self, n: usize) {
@@ -480,6 +507,30 @@ mod tests {
                     assert!(!constrained_dominates(&individuals[a], &individuals[b]));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn scratch_crowding_matches_the_allocating_path() {
+        let mut via_scratch: Vec<Individual> = (0..40)
+            .map(|i| {
+                let x = -5.0 + (i % 13) as f64 * 0.7;
+                Individual::from_variables(&Schaffer, vec![x])
+            })
+            .collect();
+        let mut via_alloc = via_scratch.clone();
+
+        let mut scratch = SortScratch::new();
+        fast_nondominated_sort_with(&mut via_scratch, &mut scratch);
+        scratch.assign_crowding(&mut via_scratch);
+
+        let fronts = fast_nondominated_sort(&mut via_alloc);
+        for front in &fronts {
+            crate::assign_crowding_distance(&mut via_alloc, front);
+        }
+        for (a, b) in via_scratch.iter().zip(&via_alloc) {
+            assert_eq!(a.rank, b.rank);
+            assert_eq!(a.crowding, b.crowding);
         }
     }
 

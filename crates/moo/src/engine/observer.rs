@@ -1,0 +1,176 @@
+//! Per-generation telemetry for [`crate::engine::Driver`] runs.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// What the driver learned from one completed generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationReport {
+    /// 1-based index of the completed generation.
+    pub generation: usize,
+    /// Cumulative candidate evaluations spent so far (across the whole run,
+    /// including initialization).
+    pub evaluations: usize,
+    /// Size of the current non-dominated front.
+    pub front_size: usize,
+    /// Hypervolume of the current front against the driver's reference
+    /// point. NaN when no hypervolume could be computed (empty front or more
+    /// than three objectives).
+    pub hypervolume: f64,
+    /// Wall-clock time this generation's step took. Telemetry only — it
+    /// never influences the search and is not part of any checkpoint.
+    pub wall_clock: Duration,
+}
+
+/// A callback the driver notifies after every generation.
+///
+/// Observers are telemetry sinks: they receive each [`GenerationReport`] in
+/// order but cannot influence the run (use
+/// [`crate::engine::StoppingRule`]s to end it). They are intentionally not
+/// part of [`crate::engine::RunCheckpoint`]s — re-attach them after
+/// [`crate::engine::Driver::resume`].
+pub trait Observer {
+    /// Called once after each completed generation, in generation order.
+    fn on_generation(&mut self, report: &GenerationReport);
+}
+
+/// An observer that ignores every report. Useful as an explicit "no
+/// telemetry" marker in configuration code.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn on_generation(&mut self, _report: &GenerationReport) {}
+}
+
+/// Logs a one-line summary of every `every`-th generation to stderr.
+#[derive(Debug, Clone)]
+pub struct LogObserver {
+    every: usize,
+}
+
+impl LogObserver {
+    /// Logs every `every`-th generation (and generation 1). An `every` of
+    /// zero is treated as 1.
+    pub fn new(every: usize) -> Self {
+        LogObserver {
+            every: every.max(1),
+        }
+    }
+}
+
+impl Default for LogObserver {
+    /// Logs every generation.
+    fn default() -> Self {
+        LogObserver::new(1)
+    }
+}
+
+impl Observer for LogObserver {
+    fn on_generation(&mut self, report: &GenerationReport) {
+        if report.generation == 1 || report.generation.is_multiple_of(self.every) {
+            eprintln!(
+                "[gen {:>5}] evals {:>8}  front {:>4}  hv {:.6e}  ({:.1?})",
+                report.generation,
+                report.evaluations,
+                report.front_size,
+                report.hypervolume,
+                report.wall_clock
+            );
+        }
+    }
+}
+
+/// Collects every [`GenerationReport`] of a run.
+///
+/// The observer is a cheap handle around shared storage, so keep a clone and
+/// read the collected history back after the driver finishes:
+///
+/// ```
+/// use pathway_moo::engine::{Driver, HistoryObserver, StoppingRule};
+/// use pathway_moo::{Nsga2, Nsga2Config, problems::Schaffer};
+///
+/// let history = HistoryObserver::new();
+/// let config = Nsga2Config { population_size: 16, ..Default::default() };
+/// let mut driver = Driver::new(Nsga2::new(config, 1), &Schaffer)
+///     .with_observer(history.clone())
+///     .with_stopping(StoppingRule::MaxGenerations(5));
+/// driver.run();
+/// assert_eq!(history.reports().len(), 5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HistoryObserver {
+    reports: Arc<Mutex<Vec<GenerationReport>>>,
+}
+
+impl HistoryObserver {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        HistoryObserver::default()
+    }
+
+    /// The reports collected so far, oldest first.
+    pub fn reports(&self) -> Vec<GenerationReport> {
+        self.reports
+            .lock()
+            .expect("history observer lock is never poisoned")
+            .clone()
+    }
+
+    /// Number of reports collected so far.
+    pub fn len(&self) -> usize {
+        self.reports
+            .lock()
+            .expect("history observer lock is never poisoned")
+            .len()
+    }
+
+    /// `true` if no generation has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Observer for HistoryObserver {
+    fn on_generation(&mut self, report: &GenerationReport) {
+        self.reports
+            .lock()
+            .expect("history observer lock is never poisoned")
+            .push(report.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(generation: usize) -> GenerationReport {
+        GenerationReport {
+            generation,
+            evaluations: generation * 10,
+            front_size: 4,
+            hypervolume: 1.0,
+            wall_clock: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn history_handles_share_storage() {
+        let history = HistoryObserver::new();
+        let mut handle = history.clone();
+        assert!(history.is_empty());
+        handle.on_generation(&report(1));
+        handle.on_generation(&report(2));
+        assert_eq!(history.len(), 2);
+        assert_eq!(history.reports()[1].generation, 2);
+    }
+
+    #[test]
+    fn null_and_log_observers_accept_reports() {
+        NullObserver.on_generation(&report(1));
+        let mut log = LogObserver::new(0);
+        log.on_generation(&report(1));
+        let mut sparse = LogObserver::new(100);
+        sparse.on_generation(&report(50)); // silently skipped
+    }
+}

@@ -1,0 +1,166 @@
+//! Serializable optimizer snapshots.
+//!
+//! Every field of every type in this module is plain data (`u64`, `usize`,
+//! `f64`, and vectors thereof via [`Individual`]), so a snapshot can be
+//! persisted with any serialization format the embedding application likes
+//! and later fed back through [`crate::engine::Optimizer::restore`]. A
+//! restored optimizer continues the exact same RNG streams and therefore the
+//! exact same search trajectory, which is what makes
+//! [`crate::engine::Driver`] checkpoints bit-identical to unsplit runs.
+
+use rand::rngs::StdRng;
+
+use crate::Individual;
+
+/// Captured xoshiro256++ generator state (see `StdRng::state`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RngState(pub [u64; 4]);
+
+impl RngState {
+    /// Captures the state of a generator.
+    pub fn capture(rng: &StdRng) -> Self {
+        RngState(rng.state())
+    }
+
+    /// Rebuilds a generator continuing the captured stream.
+    pub fn rebuild(&self) -> StdRng {
+        StdRng::from_state(self.0)
+    }
+}
+
+/// Snapshot of an [`crate::Nsga2`] solver mid-run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Nsga2State {
+    /// Mating/variation RNG state.
+    pub rng: RngState,
+    /// Current population, including `rank`/`crowding` bookkeeping.
+    pub population: Vec<Individual>,
+    /// Cumulative number of candidate evaluations spent so far.
+    pub evaluations: usize,
+}
+
+/// Snapshot of a [`crate::Moead`] solver mid-run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoeadState {
+    /// Variation RNG state.
+    pub rng: RngState,
+    /// One incumbent per sub-problem, in weight-vector order.
+    pub population: Vec<Individual>,
+    /// Current ideal point `z*` (per-objective minimum seen so far).
+    pub ideal: Vec<f64>,
+    /// Cumulative number of candidate evaluations spent so far.
+    pub evaluations: usize,
+}
+
+/// Snapshot of an [`crate::Archipelago`] mid-run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchipelagoState {
+    /// Per-island NSGA-II snapshots, in island order.
+    pub islands: Vec<Nsga2State>,
+    /// Per-island migration-export archives (see
+    /// [`crate::ParetoArchive`]), in island order.
+    pub archives: Vec<Vec<Individual>>,
+    /// Migration-event RNG state.
+    pub migration_rng: RngState,
+    /// Number of generations every island has completed.
+    pub generations_done: usize,
+}
+
+/// A snapshot of any shipped optimizer, as produced by
+/// [`crate::engine::Optimizer::state`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizerState {
+    /// Snapshot of an [`crate::Nsga2`] solver.
+    Nsga2(Nsga2State),
+    /// Snapshot of a [`crate::Moead`] solver.
+    Moead(MoeadState),
+    /// Snapshot of an [`crate::Archipelago`].
+    Archipelago(ArchipelagoState),
+}
+
+impl OptimizerState {
+    /// Short name of the optimizer kind this snapshot belongs to.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            OptimizerState::Nsga2(_) => "Nsga2",
+            OptimizerState::Moead(_) => "Moead",
+            OptimizerState::Archipelago(_) => "Archipelago",
+        }
+    }
+}
+
+/// Errors surfaced by the engine's restore path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A snapshot of one optimizer kind was fed to another kind.
+    StateMismatch {
+        /// Optimizer kind that tried to restore.
+        expected: &'static str,
+        /// Kind recorded in the snapshot.
+        found: &'static str,
+    },
+    /// The snapshot's shape disagrees with the restoring optimizer's
+    /// configuration (e.g. a different island count).
+    ConfigMismatch {
+        /// What disagreed, for diagnostics.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::StateMismatch { expected, found } => {
+                write!(
+                    f,
+                    "cannot restore a {found} snapshot into a {expected} optimizer"
+                )
+            }
+            EngineError::ConfigMismatch { detail } => {
+                write!(
+                    f,
+                    "snapshot does not fit the optimizer configuration: {detail}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn rng_state_roundtrip_continues_the_stream() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = rng.gen::<u64>();
+        let mut resumed = RngState::capture(&rng).rebuild();
+        assert_eq!(rng.gen::<u64>(), resumed.gen::<u64>());
+    }
+
+    #[test]
+    fn state_kinds_are_labelled() {
+        let state = OptimizerState::Nsga2(Nsga2State {
+            rng: RngState([1, 2, 3, 4]),
+            population: vec![],
+            evaluations: 0,
+        });
+        assert_eq!(state.kind(), "Nsga2");
+    }
+
+    #[test]
+    fn engine_errors_render() {
+        let mismatch = EngineError::StateMismatch {
+            expected: "Moead",
+            found: "Nsga2",
+        };
+        assert!(mismatch.to_string().contains("Nsga2"));
+        let config = EngineError::ConfigMismatch {
+            detail: "2 islands vs 3".into(),
+        };
+        assert!(config.to_string().contains("islands"));
+    }
+}

@@ -7,6 +7,10 @@
 //! * [`MultiObjectiveProblem`] — the problem trait (box-bounded decision
 //!   variables, any number of minimized objectives, optional constraint
 //!   violation).
+//! * [`engine`] — the step-driven engine: the [`Optimizer`] trait all three
+//!   algorithms implement, and the generic [`Driver`] with per-generation
+//!   [`Observer`]s, composable [`StoppingRule`]s and bit-identical
+//!   checkpoint/resume.
 //! * [`Nsga2`] — the Non-dominated Sorting Genetic Algorithm II of Deb et al.,
 //!   the paper's island engine.
 //! * [`Moead`] — MOEA/D with Tchebycheff decomposition (Zhang & Li), the
@@ -53,6 +57,7 @@ mod nsga2;
 mod operators;
 mod problem;
 
+pub mod engine;
 pub mod metrics;
 pub mod mining;
 pub mod problems;
@@ -64,6 +69,10 @@ pub use crowding::assign_crowding_distance;
 pub use dominance::{
     constrained_dominates, dominates, fast_nondominated_sort, fast_nondominated_sort_with,
     SortScratch,
+};
+pub use engine::{
+    Driver, EngineError, GenerationReport, HistoryObserver, LogObserver, NullObserver, Observer,
+    Optimizer, OptimizerState, RunCheckpoint, StoppingRule,
 };
 pub use eval::EvalBackend;
 pub use individual::{Individual, Population};

@@ -2,6 +2,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::dominance::nondominated_filter;
+use crate::engine::{EngineError, MoeadState, Optimizer, OptimizerState, RngState};
 use crate::individual::sample_within;
 use crate::{polynomial_mutation, sbx_crossover, EvalBackend, Individual, MultiObjectiveProblem};
 
@@ -47,6 +48,14 @@ impl Default for MoeadConfig {
 /// tri-objective problems are supported, which covers everything the paper
 /// evaluates.
 ///
+/// The solver is step-driven: [`Moead::initialize`] builds the weight
+/// vectors, neighbourhoods and initial population, [`Moead::step`] advances
+/// one generation, and [`Moead::run`] is the convenience loop over the
+/// configured generation budget. It implements
+/// [`Optimizer`](crate::engine::Optimizer), so it can be driven, observed,
+/// stopped early and checkpointed by a [`crate::engine::Driver`] exactly
+/// like NSGA-II.
+///
 /// # Example
 ///
 /// ```
@@ -60,6 +69,17 @@ impl Default for MoeadConfig {
 pub struct Moead {
     config: MoeadConfig,
     rng: StdRng,
+    /// Weight vectors, one per sub-problem. Empty until initialization;
+    /// derived from the configuration and the problem's objective count
+    /// only, so they are rebuilt (not checkpointed) on restore.
+    weights: Vec<Vec<f64>>,
+    /// Per-sub-problem neighbourhoods (indices of the closest weights).
+    neighborhoods: Vec<Vec<usize>>,
+    /// One incumbent per sub-problem, in weight order.
+    population: Vec<Individual>,
+    /// Running ideal point `z*` over everything evaluated so far.
+    ideal: Vec<f64>,
+    evaluations: usize,
 }
 
 impl Moead {
@@ -68,12 +88,48 @@ impl Moead {
         Moead {
             config,
             rng: StdRng::seed_from_u64(seed),
+            weights: Vec::new(),
+            neighborhoods: Vec::new(),
+            population: Vec::new(),
+            ideal: Vec::new(),
+            evaluations: 0,
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &MoeadConfig {
         &self.config
+    }
+
+    /// Current population, one incumbent per sub-problem (empty before
+    /// initialization).
+    pub fn population(&self) -> &[Individual] {
+        &self.population
+    }
+
+    /// Replaces the current population, e.g. to seed a run with known-good
+    /// designs or to inject migrants. The ideal point is reset to the
+    /// member-wise objective minimum of the new population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solver is already initialized and `population` does not
+    /// provide exactly one incumbent per weight vector.
+    pub fn set_population(&mut self, population: Vec<Individual>) {
+        if !self.weights.is_empty() {
+            assert_eq!(
+                population.len(),
+                self.weights.len(),
+                "MOEA/D needs exactly one incumbent per weight vector"
+            );
+        }
+        self.ideal = ideal_point(&population);
+        self.population = population;
+    }
+
+    /// Cumulative number of candidate evaluations spent so far.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
     }
 
     /// Uniformly spread weight vectors for 2 or 3 objectives.
@@ -115,108 +171,130 @@ impl Moead {
             .fold(0.0, f64::max)
     }
 
-    /// Runs the algorithm and returns the non-dominated subset of the final
-    /// population.
+    /// Builds the weight vectors, neighbourhoods and initial population if
+    /// that has not happened yet. Idempotent.
     ///
     /// # Panics
     ///
-    /// Panics if the problem has more than three objectives.
-    pub fn run<P: MultiObjectiveProblem>(&mut self, problem: &P) -> Vec<Individual> {
-        let weights = self.weight_vectors(problem.num_objectives());
-        let n = weights.len();
+    /// Panics if the problem has more than three objectives, or if a
+    /// population installed via [`Moead::set_population`] before
+    /// initialization does not match the generated weight count.
+    pub fn initialize<P: MultiObjectiveProblem>(&mut self, problem: &P) {
+        if self.weights.is_empty() {
+            self.weights = self.weight_vectors(problem.num_objectives());
+            let n = self.weights.len();
+            let t = self.config.neighborhood_size.min(n);
+            self.neighborhoods = (0..n)
+                .map(|i| {
+                    let mut order: Vec<usize> = (0..n).collect();
+                    order.sort_by(|&a, &b| {
+                        let da: f64 = self.weights[i]
+                            .iter()
+                            .zip(&self.weights[a])
+                            .map(|(x, y)| (x - y) * (x - y))
+                            .sum();
+                        let db: f64 = self.weights[i]
+                            .iter()
+                            .zip(&self.weights[b])
+                            .map(|(x, y)| (x - y) * (x - y))
+                            .sum();
+                        da.partial_cmp(&db).expect("distances are finite")
+                    });
+                    order.into_iter().take(t).collect()
+                })
+                .collect();
+        }
+        if self.population.is_empty() {
+            // One individual per sub-problem: sample every decision vector
+            // first, then evaluate the batch through the backend.
+            let bounds = problem.bounds();
+            let initial_variables: Vec<Vec<f64>> = (0..self.weights.len())
+                .map(|_| sample_within(&bounds, &mut self.rng))
+                .collect();
+            self.evaluations += initial_variables.len();
+            self.population = self
+                .config
+                .backend
+                .evaluate_individuals(problem, initial_variables);
+            self.ideal = ideal_point(&self.population);
+        } else {
+            assert_eq!(
+                self.population.len(),
+                self.weights.len(),
+                "MOEA/D needs exactly one incumbent per weight vector"
+            );
+            if self.ideal.is_empty() {
+                self.ideal = ideal_point(&self.population);
+            }
+        }
+    }
+
+    /// Advances the search by one generation: every sub-problem produces one
+    /// child from its neighbourhood and the child competes for the
+    /// neighbouring incumbencies under Tchebycheff aggregation.
+    /// Initializes first if needed.
+    pub fn step<P: MultiObjectiveProblem>(&mut self, problem: &P) {
+        self.initialize(problem);
         let bounds = problem.bounds();
         let mutation_probability = self
             .config
             .mutation_probability
             .unwrap_or(1.0 / problem.num_variables() as f64);
+        let t = self.config.neighborhood_size.min(self.weights.len());
 
-        // Neighbourhoods: indices of the T closest weight vectors.
-        let t = self.config.neighborhood_size.min(n);
-        let mut neighborhoods: Vec<Vec<usize>> = Vec::with_capacity(n);
-        for i in 0..n {
-            let mut order: Vec<usize> = (0..n).collect();
-            order.sort_by(|&a, &b| {
-                let da: f64 = weights[i]
-                    .iter()
-                    .zip(&weights[a])
-                    .map(|(x, y)| (x - y) * (x - y))
-                    .sum();
-                let db: f64 = weights[i]
-                    .iter()
-                    .zip(&weights[b])
-                    .map(|(x, y)| (x - y) * (x - y))
-                    .sum();
-                da.partial_cmp(&db).expect("distances are finite")
-            });
-            neighborhoods.push(order.into_iter().take(t).collect());
-        }
+        for k in 0..self.neighborhoods.len() {
+            // Pick two parents from the neighbourhood.
+            let pa = self.neighborhoods[k][self.rng.gen_range(0..t)];
+            let pb = self.neighborhoods[k][self.rng.gen_range(0..t)];
+            let (mut child, _) = sbx_crossover(
+                &self.population[pa].variables,
+                &self.population[pb].variables,
+                &bounds,
+                self.config.eta_crossover,
+                &mut self.rng,
+            );
+            polynomial_mutation(
+                &mut child,
+                &bounds,
+                mutation_probability,
+                self.config.eta_mutation,
+                &mut self.rng,
+            );
+            let child = Individual::from_variables(problem, child);
+            self.evaluations += 1;
 
-        // Initial population, one individual per sub-problem: sample every
-        // decision vector first, then evaluate the batch through the backend.
-        let initial_variables: Vec<Vec<f64>> = (0..n)
-            .map(|_| sample_within(&bounds, &mut self.rng))
-            .collect();
-        let mut population: Vec<Individual> = self
-            .config
-            .backend
-            .evaluate_individuals(problem, initial_variables);
-        let mut ideal: Vec<f64> = vec![f64::INFINITY; problem.num_objectives()];
-        for individual in &population {
-            for (z, &f) in ideal.iter_mut().zip(&individual.objectives) {
+            // Update the ideal point.
+            for (z, &f) in self.ideal.iter_mut().zip(&child.objectives) {
                 *z = z.min(f);
             }
-        }
-
-        for _ in 0..self.config.generations {
-            for neighborhood in &neighborhoods {
-                // Pick two parents from the neighbourhood.
-                let pa = neighborhood[self.rng.gen_range(0..t)];
-                let pb = neighborhood[self.rng.gen_range(0..t)];
-                let (mut child, _) = sbx_crossover(
-                    &population[pa].variables,
-                    &population[pb].variables,
-                    &bounds,
-                    self.config.eta_crossover,
-                    &mut self.rng,
-                );
-                polynomial_mutation(
-                    &mut child,
-                    &bounds,
-                    mutation_probability,
-                    self.config.eta_mutation,
-                    &mut self.rng,
-                );
-                let child = Individual::from_variables(problem, child);
-
-                // Update the ideal point.
-                for (z, &f) in ideal.iter_mut().zip(&child.objectives) {
-                    *z = z.min(f);
-                }
-                // Update neighbouring sub-problems. Infeasible children are
-                // only allowed to replace more-violating incumbents.
-                for &j in neighborhood {
-                    let incumbent = &population[j];
-                    let replace = if child.violation > 0.0 || incumbent.violation > 0.0 {
-                        child.violation < incumbent.violation
-                    } else {
-                        Self::tchebycheff(&child.objectives, &weights[j], &ideal)
-                            <= Self::tchebycheff(&incumbent.objectives, &weights[j], &ideal)
-                    };
-                    if replace {
-                        population[j] = child.clone();
-                    }
+            // Update neighbouring sub-problems. Infeasible children are
+            // only allowed to replace more-violating incumbents.
+            for &j in &self.neighborhoods[k] {
+                let incumbent = &self.population[j];
+                let replace = if child.violation > 0.0 || incumbent.violation > 0.0 {
+                    child.violation < incumbent.violation
+                } else {
+                    Self::tchebycheff(&child.objectives, &self.weights[j], &self.ideal)
+                        <= Self::tchebycheff(&incumbent.objectives, &self.weights[j], &self.ideal)
+                };
+                if replace {
+                    self.population[j] = child.clone();
                 }
             }
         }
+    }
 
-        // Return the non-dominated, feasible subset.
-        let feasible: Vec<Individual> = population
+    /// The non-dominated, feasible subset of the current population (or of
+    /// the whole population when no member is feasible).
+    pub fn front(&self) -> Vec<Individual> {
+        let feasible: Vec<Individual> = self
+            .population
             .iter()
             .filter(|individual| individual.is_feasible())
             .cloned()
             .collect();
         let pool = if feasible.is_empty() {
-            population
+            self.population.clone()
         } else {
             feasible
         };
@@ -225,6 +303,124 @@ impl Moead {
         pool.into_iter()
             .filter(|individual| front.contains(&individual.objectives))
             .collect()
+    }
+
+    /// Runs the configured number of generations and returns the
+    /// non-dominated subset of the final population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the problem has more than three objectives.
+    pub fn run<P: MultiObjectiveProblem>(&mut self, problem: &P) -> Vec<Individual> {
+        self.initialize(problem);
+        for _ in 0..self.config.generations {
+            self.step(problem);
+        }
+        self.front()
+    }
+
+    /// Captures the solver's run state as plain data. The weight vectors and
+    /// neighbourhoods are derived data and deliberately not captured — they
+    /// are rebuilt on the next [`Moead::initialize`].
+    pub(crate) fn snapshot(&self) -> MoeadState {
+        MoeadState {
+            rng: RngState::capture(&self.rng),
+            population: self.population.clone(),
+            ideal: self.ideal.clone(),
+            evaluations: self.evaluations,
+        }
+    }
+
+    /// Restores a snapshot captured with [`Moead::snapshot`].
+    ///
+    /// The incumbent count must match this solver's weight-vector count.
+    /// When the solver has not built its weights yet, the count it *would*
+    /// build is derived from the configuration and the snapshot's objective
+    /// dimension, so a mismatched checkpoint is rejected here instead of
+    /// panicking on the next [`Moead::initialize`].
+    pub(crate) fn restore_snapshot(&mut self, state: MoeadState) -> Result<(), EngineError> {
+        let expected = if !self.weights.is_empty() {
+            Some(self.weights.len())
+        } else {
+            match state.population.first().map(|i| i.objectives.len()) {
+                Some(objectives @ (2 | 3)) => Some(self.weight_vectors(objectives).len()),
+                Some(objectives) => {
+                    return Err(EngineError::ConfigMismatch {
+                        detail: format!(
+                            "snapshot has {objectives}-objective incumbents; MOEA/D supports \
+                             2 or 3 objectives"
+                        ),
+                    })
+                }
+                None => None,
+            }
+        };
+        if let Some(expected) = expected {
+            if !state.population.is_empty() && state.population.len() != expected {
+                return Err(EngineError::ConfigMismatch {
+                    detail: format!(
+                        "snapshot has {} incumbents but this solver generates {} weight vectors",
+                        state.population.len(),
+                        expected
+                    ),
+                });
+            }
+        }
+        self.rng = state.rng.rebuild();
+        self.population = state.population;
+        self.ideal = state.ideal;
+        self.evaluations = state.evaluations;
+        Ok(())
+    }
+}
+
+/// Per-objective minimum over a set of individuals; empty for an empty set.
+fn ideal_point(population: &[Individual]) -> Vec<f64> {
+    let Some(first) = population.first() else {
+        return Vec::new();
+    };
+    let mut ideal = vec![f64::INFINITY; first.objectives.len()];
+    for individual in population {
+        for (z, &f) in ideal.iter_mut().zip(&individual.objectives) {
+            *z = z.min(f);
+        }
+    }
+    ideal
+}
+
+impl<P: MultiObjectiveProblem> Optimizer<P> for Moead {
+    fn initialize(&mut self, problem: &P) {
+        Moead::initialize(self, problem);
+    }
+
+    fn step(&mut self, problem: &P) {
+        Moead::step(self, problem);
+    }
+
+    fn population(&self) -> Vec<Individual> {
+        self.population.clone()
+    }
+
+    fn front(&self) -> Vec<Individual> {
+        Moead::front(self)
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    fn state(&self) -> OptimizerState {
+        OptimizerState::Moead(self.snapshot())
+    }
+
+    fn restore(&mut self, state: OptimizerState) -> Result<(), EngineError> {
+        match state {
+            OptimizerState::Moead(snapshot) => self.restore_snapshot(snapshot),
+            other => Err(EngineError::StateMismatch {
+                expected: "Moead",
+                found: other.kind(),
+            }),
+        }
     }
 }
 
@@ -285,6 +481,49 @@ mod tests {
             a.iter().map(|i| i.objectives.clone()).collect::<Vec<_>>(),
             b.iter().map(|i| i.objectives.clone()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn stepwise_run_matches_monolithic_run() {
+        let monolithic = Moead::new(config(12), 5).run(&Schaffer);
+        let mut stepped = Moead::new(config(12), 5);
+        stepped.initialize(&Schaffer);
+        for _ in 0..12 {
+            stepped.step(&Schaffer);
+        }
+        let front = stepped.front();
+        assert_eq!(
+            monolithic
+                .iter()
+                .map(|i| i.objectives.clone())
+                .collect::<Vec<_>>(),
+            front
+                .iter()
+                .map(|i| i.objectives.clone())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn parity_accessors_expose_and_replace_the_population() {
+        let mut solver = Moead::new(config(2), 3);
+        solver.initialize(&Schaffer);
+        assert_eq!(solver.population().len(), 40);
+        assert_eq!(solver.evaluations(), 40);
+        let mut replacement = solver.population().to_vec();
+        replacement.reverse();
+        solver.set_population(replacement);
+        assert_eq!(solver.population().len(), 40);
+        solver.step(&Schaffer);
+        assert_eq!(solver.evaluations(), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "one incumbent per weight vector")]
+    fn set_population_rejects_wrong_sizes_once_initialized() {
+        let mut solver = Moead::new(config(1), 0);
+        solver.initialize(&Schaffer);
+        solver.set_population(Vec::new());
     }
 
     #[test]

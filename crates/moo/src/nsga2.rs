@@ -1,11 +1,11 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::engine::{EngineError, Nsga2State, Optimizer, OptimizerState, RngState};
 use crate::individual::sample_within;
 use crate::{
-    assign_crowding_distance, fast_nondominated_sort, fast_nondominated_sort_with,
-    polynomial_mutation, sbx_crossover, tournament_select, EvalBackend, Individual,
-    MultiObjectiveProblem, Population, SortScratch,
+    fast_nondominated_sort_with, polynomial_mutation, sbx_crossover, tournament_select,
+    EvalBackend, Individual, MultiObjectiveProblem, Population, SortScratch,
 };
 
 /// Configuration of an NSGA-II run.
@@ -62,6 +62,7 @@ pub struct Nsga2 {
     rng: StdRng,
     population: Population,
     scratch: SortScratch,
+    evaluations: usize,
 }
 
 impl Nsga2 {
@@ -72,6 +73,7 @@ impl Nsga2 {
             rng: StdRng::seed_from_u64(seed),
             population: Population::new(),
             scratch: SortScratch::new(),
+            evaluations: 0,
         }
     }
 
@@ -83,6 +85,11 @@ impl Nsga2 {
     /// Current population (empty before the first generation).
     pub fn population(&self) -> &Population {
         &self.population
+    }
+
+    /// Cumulative number of candidate evaluations spent so far.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
     }
 
     /// Replaces the current population. Extra individuals are truncated on
@@ -113,9 +120,7 @@ impl Nsga2 {
             return;
         }
         fast_nondominated_sort_with(members, &mut self.scratch);
-        for rank in 0..self.scratch.num_fronts() {
-            assign_crowding_distance(members, self.scratch.front(rank));
-        }
+        self.scratch.assign_crowding(members);
     }
 
     /// Initializes the population if needed: samples every decision vector
@@ -129,6 +134,7 @@ impl Nsga2 {
         let variables: Vec<Vec<f64>> = (0..self.config.population_size)
             .map(|_| sample_within(&bounds, &mut self.rng))
             .collect();
+        self.evaluations += variables.len();
         self.population = self
             .config
             .backend
@@ -189,6 +195,7 @@ impl Nsga2 {
         }
 
         // --- one batched (possibly parallel) evaluation of all offspring ---
+        self.evaluations += children.len();
         let offspring = self.config.backend.evaluate_individuals(problem, children);
 
         // --- environmental selection on parents ∪ offspring ---
@@ -206,9 +213,7 @@ impl Nsga2 {
         target: usize,
     ) -> Population {
         fast_nondominated_sort_with(&mut combined, &mut self.scratch);
-        for rank in 0..self.scratch.num_fronts() {
-            assign_crowding_distance(&mut combined, self.scratch.front(rank));
-        }
+        self.scratch.assign_crowding(&mut combined);
         let mut chosen: Vec<usize> = Vec::with_capacity(target);
         for rank in 0..self.scratch.num_fronts() {
             let front = self.scratch.front(rank);
@@ -250,14 +255,92 @@ impl Nsga2 {
         self.nondominated_front()
     }
 
-    /// Non-dominated, feasible members of the current population.
+    /// Non-dominated members of the current population (rank 0 under
+    /// constrained domination).
+    ///
+    /// This reads the `rank` bookkeeping maintained by `initialize`, `step`,
+    /// `set_population` and `refresh_ranks` instead of cloning and
+    /// re-sorting the whole population, so only the front members themselves
+    /// are cloned. After [`Nsga2::inject_migrants`] the ranks are stale
+    /// until the next [`Nsga2::refresh_ranks`] (the archipelago always
+    /// refreshes after injecting).
     pub fn nondominated_front(&self) -> Vec<Individual> {
-        let mut members: Vec<Individual> = self.population.clone().into_iter().collect();
-        if members.is_empty() {
-            return members;
+        self.population
+            .iter()
+            .filter(|member| member.rank == 0)
+            .cloned()
+            .collect()
+    }
+
+    /// Captures the solver's run state (RNG stream, population with its
+    /// bookkeeping, evaluation odometer) as plain data.
+    pub(crate) fn snapshot(&self) -> Nsga2State {
+        Nsga2State {
+            rng: RngState::capture(&self.rng),
+            population: self.population.members().to_vec(),
+            evaluations: self.evaluations,
         }
-        let fronts = fast_nondominated_sort(&mut members);
-        fronts[0].iter().map(|&i| members[i].clone()).collect()
+    }
+
+    /// Restores a snapshot captured with [`Nsga2::snapshot`]. The population
+    /// is installed verbatim (its `rank`/`crowding` fields were valid when
+    /// captured), so no RNG draws happen and the restored solver continues
+    /// the exact trajectory of the captured one.
+    ///
+    /// Snapshots taken between generations always hold exactly
+    /// `population_size` members (or none, before initialization), so any
+    /// other length means the snapshot came from a differently configured
+    /// solver and is rejected.
+    pub(crate) fn restore_snapshot(&mut self, state: Nsga2State) -> Result<(), EngineError> {
+        if !state.population.is_empty() && state.population.len() != self.config.population_size {
+            return Err(EngineError::ConfigMismatch {
+                detail: format!(
+                    "snapshot holds {} individuals but this solver is configured for {}",
+                    state.population.len(),
+                    self.config.population_size
+                ),
+            });
+        }
+        self.rng = state.rng.rebuild();
+        self.population = state.population.into();
+        self.evaluations = state.evaluations;
+        Ok(())
+    }
+}
+
+impl<P: MultiObjectiveProblem> Optimizer<P> for Nsga2 {
+    fn initialize(&mut self, problem: &P) {
+        Nsga2::initialize(self, problem);
+    }
+
+    fn step(&mut self, problem: &P) {
+        Nsga2::step(self, problem);
+    }
+
+    fn population(&self) -> Vec<Individual> {
+        self.population.members().to_vec()
+    }
+
+    fn front(&self) -> Vec<Individual> {
+        self.nondominated_front()
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    fn state(&self) -> OptimizerState {
+        OptimizerState::Nsga2(self.snapshot())
+    }
+
+    fn restore(&mut self, state: OptimizerState) -> Result<(), EngineError> {
+        match state {
+            OptimizerState::Nsga2(snapshot) => self.restore_snapshot(snapshot),
+            other => Err(EngineError::StateMismatch {
+                expected: "Nsga2",
+                found: other.kind(),
+            }),
+        }
     }
 }
 

@@ -1,4 +1,7 @@
-//! Throwaway review check: sweep fast path vs textbook reference.
+//! Property check: the bi-objective sweep fast path of
+//! `fast_nondominated_sort` must agree with a textbook reference
+//! implementation on random populations full of exact ties, duplicates and
+//! infeasible solutions.
 
 use pathway_moo::{constrained_dominates, fast_nondominated_sort, Individual};
 use rand::rngs::StdRng;

@@ -1,0 +1,7 @@
+//! Helpers shared by every example (not itself an example target).
+
+/// `true` when shrunk budgets are requested via
+/// `PATHWAY_EXAMPLE_BUDGET=quick`, as the CI examples step does.
+pub fn quick_budget() -> bool {
+    std::env::var("PATHWAY_EXAMPLE_BUDGET").is_ok_and(|v| v == "quick")
+}

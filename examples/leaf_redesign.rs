@@ -3,23 +3,31 @@
 //! plus the per-enzyme re-engineering ratios of Figure 2.
 //!
 //! Run with: `cargo run --release --example leaf_redesign`
+//!
+//! Each scenario is one generic [`Study`] over its own
+//! [`LeafRedesignProblem`]; the threaded evaluation backend spreads the
+//! per-candidate ODE steady states over worker threads (bit-identical to the
+//! serial backend for a fixed seed). Set `PATHWAY_EXAMPLE_BUDGET=quick` (as
+//! CI does) to shrink the budgets.
 
 use pathway_core::prelude::*;
 use pathway_core::render_table;
 
+mod common;
+use common::quick_budget;
+
 fn main() {
+    let (population, generations) = if quick_budget() { (16, 20) } else { (50, 120) };
     let mut rows = Vec::new();
     let mut reference_outcome = None;
 
     for (index, scenario) in Scenario::all().into_iter().enumerate() {
-        // Each candidate evaluation integrates the leaf kinetics to steady
-        // state, so the offspring batches are spread over worker threads
-        // (bit-identical to the serial backend for this fixed seed).
-        let study = LeafDesignStudy::new(scenario)
-            .with_budget(50, 120)
-            .with_migration(40, 0.5)
+        let study = Study::new(LeafRedesignProblem::new(scenario))
+            .with_budget(population, generations)
+            .with_migration((generations / 3).max(1), 0.5)
             .with_backend(EvalBackend::Threads(4));
-        let outcome = study.run(100 + index as u64);
+        let result = study.run(100 + index as u64);
+        let outcome = LeafDesignOutcome::from_front(scenario, result.front, result.evaluations);
         let max_uptake = outcome.max_uptake().clone();
         let min_nitrogen = outcome.min_nitrogen().clone();
         rows.push(vec![

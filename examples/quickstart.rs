@@ -1,23 +1,43 @@
 //! Quickstart: optimize the present-day leaf, mine the front, check robustness.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! The study is expressed through the engine API: a generic [`Study`] over
+//! the leaf redesign problem, driven with a logging observer. Set
+//! `PATHWAY_EXAMPLE_BUDGET=quick` (as CI does) to shrink the budgets.
 
 use pathway_core::prelude::*;
 use pathway_core::{render_table, SelectionRow};
 
+mod common;
+use common::quick_budget;
+
 fn main() {
+    let (population, generations, trials) = if quick_budget() {
+        (20, 30, 150)
+    } else {
+        (60, 150, 1_000)
+    };
+
     // A small but representative study: 2 NSGA-II islands, broadcast
     // migration, present-day CO2 with the low triose-phosphate export rate.
-    let study = LeafDesignStudy::new(Scenario::present_low_export())
-        .with_budget(60, 150)
-        .with_migration(50, 0.5)
-        .with_robustness_trials(1_000);
-    let outcome = study.run(42);
+    let scenario = Scenario::present_low_export();
+    let study = Study::new(LeafRedesignProblem::new(scenario))
+        .with_budget(population, generations)
+        .with_migration((generations / 3).max(1), 0.5);
+
+    // Drive the run explicitly so we can watch it converge.
+    let mut driver = study
+        .driver(42)
+        .with_observer(LogObserver::new((generations / 5).max(1)));
+    let front = driver.run();
+    let outcome = LeafDesignOutcome::from_front(scenario, front, driver.optimizer().evaluations());
 
     println!(
-        "PMO2 found {} Pareto-optimal leaf designs ({} evaluations)",
+        "PMO2 found {} Pareto-optimal leaf designs ({} evaluations over {} generations)",
         outcome.front.len(),
-        outcome.evaluations
+        outcome.evaluations,
+        driver.generation()
     );
     println!(
         "natural leaf: uptake {:.3} µmol/m²/s at {:.0} mg/l nitrogen",
@@ -25,7 +45,7 @@ fn main() {
         EnzymePartition::NATURAL_NITROGEN
     );
 
-    let selected = outcome.selected_designs(study.robustness_trials(), 20);
+    let selected = outcome.selected_designs(trials, 20);
     let rows = [
         ("Closest-to-ideal", &selected.closest_to_ideal),
         ("Max CO2 Uptake", &selected.max_uptake),

@@ -6,15 +6,23 @@
 //! design fragile.
 //!
 //! Run with: `cargo run --release --example robustness_screening`
+//!
+//! The balanced design comes from a [`Study`] with a hypervolume-stagnation
+//! stopping rule stacked on the generation budget, so the search exits as
+//! soon as the front stops improving. Set `PATHWAY_EXAMPLE_BUDGET=quick` (as
+//! CI does) to shrink the budgets.
 
 use pathway_core::prelude::*;
 use pathway_moo::robustness::{global_yield, local_yield, RobustnessOptions};
 
-fn report(label: &str, partition: &EnzymePartition, scenario: &Scenario) {
+mod common;
+use common::quick_budget;
+
+fn report(label: &str, partition: &EnzymePartition, scenario: &Scenario, trials: usize) {
     let problem = LeafRedesignProblem::new(*scenario);
     let options = RobustnessOptions {
-        global_trials: 2_000,
-        local_trials: 100,
+        global_trials: trials,
+        local_trials: (trials / 20).max(10),
         ..Default::default()
     };
     let uptake = problem.uptake(partition.capacities());
@@ -42,6 +50,11 @@ fn report(label: &str, partition: &EnzymePartition, scenario: &Scenario) {
 }
 
 fn main() {
+    let (population, generations, trials) = if quick_budget() {
+        (16, 30, 300)
+    } else {
+        (40, 80, 2_000)
+    };
     let scenario = Scenario::present_low_export();
 
     // 1. The natural leaf.
@@ -49,24 +62,34 @@ fn main() {
         "natural leaf        ",
         &EnzymePartition::natural(),
         &scenario,
+        trials,
     );
 
     // 2. A hand-tuned maximum-uptake leaf: everything scaled up, which the
     //    paper finds to be less robust than interior trade-off points.
     let aggressive = EnzymePartition::natural().scaled(3.0);
-    report("aggressive (3x) leaf", &aggressive, &scenario);
+    report("aggressive (3x) leaf", &aggressive, &scenario, trials);
 
-    // 3. A balanced design straight from a short PMO2 run.
-    let outcome = LeafDesignStudy::new(scenario)
-        .with_budget(40, 80)
-        .with_migration(40, 0.5)
-        .run(3);
+    // 3. A balanced design straight from a short PMO2 run, with an early
+    //    exit once the hypervolume stops moving.
+    let study = Study::new(LeafRedesignProblem::new(scenario))
+        .with_budget(population, generations)
+        .with_migration((generations / 2).max(1), 0.5)
+        .with_stopping(StoppingRule::HypervolumeStagnation {
+            window: 15,
+            epsilon: 1e-6,
+        });
+    let result = study.run(3);
+    let outcome = LeafDesignOutcome::from_front(scenario, result.front, result.evaluations);
     let knee = outcome.closest_to_ideal();
-    report("closest-to-ideal    ", &knee.partition, &scenario);
+    report("closest-to-ideal    ", &knee.partition, &scenario, trials);
 
     println!();
     println!(
-        "designs screened from a front of {} Pareto-optimal partitions",
-        outcome.front.len()
+        "designs screened from a front of {} Pareto-optimal partitions \
+         ({} of {} budgeted generations used)",
+        outcome.front.len(),
+        result.generations,
+        generations
     );
 }

@@ -1,12 +1,16 @@
 //! Determinism suite: `EvalBackend::Threads(n)` must reproduce
 //! `EvalBackend::Serial` bit-for-bit for a fixed seed on every shipped
-//! problem.
+//! problem, and a `Driver` run split by checkpoint/resume at *any*
+//! generation must reproduce the unsplit run bit-for-bit.
 //!
 //! Variation is RNG-driven and stays serial; only the (pure) objective
 //! oracle runs on worker threads, and batch order is preserved, so parallel
 //! evaluation may change wall-clock time but never the search trajectory.
-//! CI runs this suite explicitly (`cargo test -q -- determinism`) so any
-//! parallel-vs-serial divergence is caught on every push.
+//! Checkpoints capture every bit of run state (populations, RNG streams,
+//! migration archives, counters, the driver's hypervolume history), so a
+//! resumed run continues the exact trajectory. CI runs this suite
+//! explicitly (`cargo test -q -- determinism`) so any divergence is caught
+//! on every push.
 
 use pathway_core::prelude::*;
 use pathway_moo::problems::{Schaffer, Zdt1};
@@ -113,4 +117,153 @@ fn determinism_archipelago_threads_match_serial() {
     let serial = Archipelago::new(archipelago_config(EvalBackend::Serial), 9).run(&Schaffer);
     let threaded = Archipelago::new(archipelago_config(EvalBackend::Threads(2)), 9).run(&Schaffer);
     assert_eq!(signature(&threaded), signature(&serial));
+}
+
+// --- checkpoint/resume determinism -------------------------------------
+
+/// The configuration under test: a 2-island archipelago with a short
+/// migration interval, so split points land before, on and after migration
+/// boundaries.
+fn checkpoint_config(backend: EvalBackend) -> ArchipelagoConfig {
+    ArchipelagoConfig {
+        islands: 2,
+        island_config: Nsga2Config {
+            population_size: 16,
+            generations: 0,
+            backend,
+            ..Default::default()
+        },
+        migration_interval: 3,
+        migration_probability: 0.5,
+        topology: MigrationTopology::Broadcast,
+    }
+}
+
+fn checkpoint_driver(
+    backend: EvalBackend,
+    seed: u64,
+    problem: &Schaffer,
+) -> Driver<'_, Schaffer, Archipelago> {
+    Driver::new(Archipelago::new(checkpoint_config(backend), seed), problem)
+}
+
+fn split_run(
+    backend: EvalBackend,
+    seed: u64,
+    total: usize,
+    split_at: usize,
+) -> Vec<(Vec<f64>, Vec<f64>, f64)> {
+    let stop = StoppingRule::MaxGenerations(total);
+    let mut first = checkpoint_driver(backend, seed, &Schaffer).with_stopping(stop.clone());
+    first.run_for(split_at);
+    let checkpoint = first.checkpoint();
+    drop(first);
+    let fresh = Archipelago::new(checkpoint_config(backend), seed);
+    let mut resumed = Driver::resume(fresh, &Schaffer, checkpoint)
+        .expect("checkpoint matches the configuration")
+        .with_stopping(stop);
+    signature(&resumed.run())
+}
+
+/// A driver run split at *every* generation must be bit-identical to the
+/// unsplit run, for the serial and the threaded evaluation backend alike.
+#[test]
+fn determinism_checkpoint_split_at_every_generation() {
+    let total = 8;
+    for backend in [EvalBackend::Serial, EvalBackend::Threads(2)] {
+        let unsplit = signature(
+            &checkpoint_driver(backend, 17, &Schaffer)
+                .with_stopping(StoppingRule::MaxGenerations(total))
+                .run(),
+        );
+        assert!(!unsplit.is_empty());
+        for split_at in 0..=total {
+            let split = split_run(backend, 17, total, split_at);
+            assert_eq!(
+                split, unsplit,
+                "{backend:?} diverged when split at generation {split_at}"
+            );
+        }
+    }
+}
+
+/// A checkpoint taken with one backend must resume bit-identically under
+/// the other: backend choice is not part of the run state.
+#[test]
+fn determinism_checkpoint_crosses_backends() {
+    let total = 6;
+    let unsplit = signature(
+        &checkpoint_driver(EvalBackend::Serial, 23, &Schaffer)
+            .with_stopping(StoppingRule::MaxGenerations(total))
+            .run(),
+    );
+    let stop = StoppingRule::MaxGenerations(total);
+    let mut first =
+        checkpoint_driver(EvalBackend::Serial, 23, &Schaffer).with_stopping(stop.clone());
+    first.run_for(3);
+    let checkpoint = first.checkpoint();
+    let threaded = Archipelago::new(checkpoint_config(EvalBackend::Threads(4)), 23);
+    let mut resumed = Driver::resume(threaded, &Schaffer, checkpoint)
+        .expect("checkpoint matches the configuration")
+        .with_stopping(stop);
+    assert_eq!(signature(&resumed.run()), unsplit);
+}
+
+/// NSGA-II driven standalone splits bit-identically as well (the
+/// archipelago tests cover the island + migration state on top).
+#[test]
+fn determinism_checkpoint_nsga2_standalone() {
+    let problem = Zdt1 { variables: 6 };
+    let config = Nsga2Config {
+        population_size: 20,
+        backend: EvalBackend::Threads(2),
+        ..Default::default()
+    };
+    let stop = StoppingRule::MaxGenerations(10);
+    let unsplit = signature(
+        &Driver::new(Nsga2::new(config, 3), &problem)
+            .with_stopping(stop.clone())
+            .run(),
+    );
+    for split_at in [1, 5, 9] {
+        let mut first = Driver::new(Nsga2::new(config, 3), &problem).with_stopping(stop.clone());
+        first.run_for(split_at);
+        let mut resumed = Driver::resume(Nsga2::new(config, 3), &problem, first.checkpoint())
+            .expect("checkpoint matches the configuration")
+            .with_stopping(stop.clone());
+        assert_eq!(
+            signature(&resumed.run()),
+            unsplit,
+            "NSGA-II diverged when split at generation {split_at}"
+        );
+    }
+}
+
+/// MOEA/D splits bit-identically too: the ideal point and RNG stream are
+/// part of the snapshot.
+#[test]
+fn determinism_checkpoint_moead_standalone() {
+    let config = MoeadConfig {
+        population_size: 24,
+        neighborhood_size: 8,
+        ..Default::default()
+    };
+    let stop = StoppingRule::MaxGenerations(8);
+    let unsplit = signature(
+        &Driver::new(Moead::new(config, 5), &Schaffer)
+            .with_stopping(stop.clone())
+            .run(),
+    );
+    for split_at in [2, 7] {
+        let mut first = Driver::new(Moead::new(config, 5), &Schaffer).with_stopping(stop.clone());
+        first.run_for(split_at);
+        let mut resumed = Driver::resume(Moead::new(config, 5), &Schaffer, first.checkpoint())
+            .expect("checkpoint matches the configuration")
+            .with_stopping(stop.clone());
+        assert_eq!(
+            signature(&resumed.run()),
+            unsplit,
+            "MOEA/D diverged when split at generation {split_at}"
+        );
+    }
 }

@@ -101,7 +101,7 @@ pub mod collection {
     use std::ops::Range;
 
     /// Strategy producing `Vec`s with element strategy `S` and a length
-    /// drawn from a half-open range. Built by [`vec`].
+    /// drawn from a half-open range. Built by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         len: Range<usize>,

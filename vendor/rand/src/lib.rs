@@ -79,15 +79,21 @@ impl SampleRange<f64> for RangeInclusive<f64> {
 }
 
 macro_rules! impl_sample_range_int {
-    ($($ty:ty),*) => {$(
+    ($(($ty:ty, $uty:ty)),*) => {$(
         impl SampleRange<$ty> for Range<$ty> {
             fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
                 assert!(self.start < self.end, "empty integer range");
-                let span = (self.end - self.start) as u64;
+                // The span is computed in the unsigned twin of the same
+                // width: signed subtraction would overflow for ranges wider
+                // than $ty::MAX (e.g. i32::MIN..i32::MAX), while the
+                // wrapping difference reinterpreted as unsigned is exact.
+                let span = self.end.wrapping_sub(self.start) as $uty as u64;
                 // Multiply-shift bounded sampling (Lemire); bias is < 2^-64
                 // per draw, negligible for the span sizes used here.
                 let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
-                self.start + hi as $ty
+                // Adding modulo 2^width lands exactly in [start, end) for
+                // the same reason the span computation is exact.
+                self.start.wrapping_add(hi as $uty as $ty)
             }
         }
 
@@ -98,15 +104,23 @@ macro_rules! impl_sample_range_int {
                 if lo == <$ty>::MIN && hi == <$ty>::MAX {
                     return rng.next_u64() as $ty;
                 }
-                let span = (hi - lo) as u64 + 1;
+                let span = hi.wrapping_sub(lo) as $uty as u64 + 1;
                 let drawn = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
-                lo + drawn as $ty
+                lo.wrapping_add(drawn as $uty as $ty)
             }
         }
     )*};
 }
 
-impl_sample_range_int!(usize, u64, u32, u16, u8);
+impl_sample_range_int!(
+    (usize, usize),
+    (u64, u64),
+    (u32, u32),
+    (u16, u16),
+    (u8, u8),
+    (i64, u64),
+    (i32, u32)
+);
 
 /// The user-facing random-sampling extension trait, mirroring `rand::Rng`.
 pub trait Rng: RngCore {
@@ -179,6 +193,29 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Exposes the raw xoshiro256++ state so callers can checkpoint the
+        /// generator as plain data. Not part of upstream `rand`; used by the
+        /// pathway engine's resumable optimizer snapshots.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state previously captured with
+        /// [`StdRng::state`], continuing the exact same stream.
+        ///
+        /// The all-zero state is a fixed point of xoshiro256++ (the stream
+        /// would be constant zero); it cannot arise from
+        /// [`super::SeedableRng::seed_from_u64`] and is remapped to the
+        /// seed-0 state defensively.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return <Self as super::SeedableRng>::seed_from_u64(0);
+            }
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
@@ -238,10 +275,47 @@ mod tests {
     }
 
     #[test]
+    fn signed_ranges_stay_in_bounds_even_at_full_width() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..10_000 {
+            let wide = rng.gen_range(i32::MIN..i32::MAX);
+            assert!(wide < i32::MAX);
+            let negative = rng.gen_range(-7i32..=-3);
+            assert!((-7..=-3).contains(&negative));
+            let huge = rng.gen_range(i64::MIN..=i64::MAX);
+            let _ = huge; // full-width draw must not panic
+        }
+        // The distribution actually covers both halves of a wide range.
+        let mut saw_negative = false;
+        let mut saw_positive = false;
+        for _ in 0..1_000 {
+            let x = rng.gen_range(-2_000_000_000i32..2_000_000_000);
+            saw_negative |= x < 0;
+            saw_positive |= x > 0;
+        }
+        assert!(saw_negative && saw_positive);
+    }
+
+    #[test]
     fn gen_bool_extremes() {
         let mut rng = StdRng::seed_from_u64(9);
         assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
         assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_the_stream() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..17 {
+            rng.gen::<u64>();
+        }
+        let mut resumed = StdRng::from_state(rng.state());
+        for _ in 0..100 {
+            assert_eq!(rng.gen::<u64>(), resumed.gen::<u64>());
+        }
+        // The degenerate all-zero state is remapped to a working generator.
+        let mut defensive = StdRng::from_state([0; 4]);
+        assert_ne!(defensive.gen::<u64>(), defensive.gen::<u64>());
     }
 
     #[test]
