@@ -1,0 +1,517 @@
+//! `pathway` — the command-line front-end for declarative run specs.
+//!
+//! Runs are *data* here: a [`RunSpec`] text file fully describes problem,
+//! optimizer, seed, stopping rules and checkpoint cadence, so anything the
+//! engine can do is launchable without recompiling:
+//!
+//! ```text
+//! pathway run examples/quickstart.spec          # execute a spec end-to-end
+//! pathway resume checkpoints/gen-50.ckpt        # continue a run, bit-identically
+//! pathway inspect examples/quickstart.spec      # validate + show canonical form
+//! pathway inspect checkpoints/gen-50.ckpt       # show checkpoint header + spec
+//! pathway list-problems                         # the problem registry
+//! ```
+//!
+//! `run` streams per-generation telemetry through a
+//! [`ChannelObserver`] (the driver steps on a worker thread; this process's
+//! main thread renders progress), writes durable checkpoints every
+//! `checkpoint_every` generations plus one at the end, and `resume`
+//! continues any of them to a final front that is bit-identical to the
+//! uninterrupted run — rejecting, by spec content hash, checkpoints that
+//! belong to a different spec.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use pathway_core::{
+    resume_spec_driver, spec_driver, validate_spec_against_problem, AnyProblem, PROBLEM_CATALOG,
+};
+use pathway_moo::engine::{
+    AnyOptimizer, ChannelObserver, CheckpointStore, Driver, GenerationReport, RunSpec,
+    StoredCheckpoint,
+};
+use pathway_moo::Individual;
+
+const USAGE: &str = "\
+pathway — declarative driver for robust-pathway-design runs
+
+USAGE:
+    pathway run <spec-file> [OPTIONS]       execute a run spec end-to-end
+    pathway resume <checkpoint> [OPTIONS]   continue a checkpointed run
+    pathway inspect <file>                  describe a spec or checkpoint file
+    pathway list-problems                   show the problem registry
+
+OPTIONS (run / resume):
+    --checkpoint-dir <dir>   where checkpoints are written
+                             (default: '<spec>.checkpoints' next to the spec,
+                              or the checkpoint's own directory on resume)
+    --stop-after <n>         stop (with a final checkpoint) once <n> total
+                             generations are done — simulates interruption
+    --front-out <file>       write the final front, bit-exactly, to <file>
+    --spec <file>            (resume) verify the checkpoint against this spec
+    --quiet                  no per-generation progress output
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(message)) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Failed(message)) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+enum CliError {
+    /// Bad invocation: print usage, exit 2.
+    Usage(String),
+    /// The command itself failed: print the message, exit 1.
+    Failed(String),
+}
+
+impl CliError {
+    fn failed(message: impl std::fmt::Display) -> Self {
+        CliError::Failed(message.to_string())
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::Usage("no command given".to_string()));
+    };
+    match command.as_str() {
+        "run" => command_run(&args[1..]),
+        "resume" => command_resume(&args[1..]),
+        "inspect" => command_inspect(&args[1..]),
+        "list-problems" => command_list_problems(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    }
+}
+
+/// Parsed `run` / `resume` options.
+struct Options {
+    target: PathBuf,
+    checkpoint_dir: Option<PathBuf>,
+    spec_override: Option<PathBuf>,
+    stop_after: Option<usize>,
+    front_out: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_options(args: &[String], what: &str) -> Result<Options, CliError> {
+    let mut target = None;
+    let mut options = Options {
+        target: PathBuf::new(),
+        checkpoint_dir: None,
+        spec_override: None,
+        stop_after: None,
+        front_out: None,
+        quiet: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--checkpoint-dir" => options.checkpoint_dir = Some(value_of("--checkpoint-dir")?),
+            "--spec" => options.spec_override = Some(value_of("--spec")?),
+            "--front-out" => options.front_out = Some(value_of("--front-out")?),
+            "--stop-after" => {
+                let raw = value_of("--stop-after")?;
+                let raw = raw.to_string_lossy();
+                options.stop_after = Some(raw.parse().map_err(|_| {
+                    CliError::Usage(format!("--stop-after needs a number, got '{raw}'"))
+                })?);
+            }
+            "--quiet" => options.quiet = true,
+            other if other.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown option '{other}'")));
+            }
+            positional => {
+                if target.replace(PathBuf::from(positional)).is_some() {
+                    return Err(CliError::Usage(format!(
+                        "more than one {what} given ('{positional}')"
+                    )));
+                }
+            }
+        }
+    }
+    options.target = target.ok_or_else(|| CliError::Usage(format!("missing {what}")))?;
+    Ok(options)
+}
+
+fn read_spec_file(path: &Path) -> Result<RunSpec, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|err| CliError::failed(format!("cannot read {}: {err}", path.display())))?;
+    RunSpec::from_text(&text).map_err(|err| CliError::failed(format!("{}: {err}", path.display())))
+}
+
+fn command_run(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args, "spec file")?;
+    let spec = read_spec_file(&options.target)?;
+    let problem = AnyProblem::from_spec(&spec.problem).map_err(CliError::failed)?;
+    validate_spec_against_problem(&spec, &problem).map_err(CliError::failed)?;
+    let checkpoint_dir = options.checkpoint_dir.clone().unwrap_or_else(|| {
+        let mut dir = options.target.clone();
+        dir.set_extension("checkpoints");
+        dir
+    });
+    let store = CheckpointStore::create(&checkpoint_dir, &spec).map_err(CliError::failed)?;
+    println!(
+        "run: {} on '{}' (seed {}, spec hash {:#018x})",
+        spec.optimizer.kind(),
+        spec.problem.name,
+        spec.seed,
+        spec.content_hash()
+    );
+
+    // The CLI renders progress itself (through the channel observer), so
+    // the driver is built from a spec with the [observe] log sink stripped —
+    // observers are telemetry-only and do not affect the trajectory or the
+    // checkpoint hash, which is always taken from the original spec.
+    let mut exec_spec = spec.clone();
+    exec_spec.log_every = None;
+    let driver = spec_driver(&exec_spec, &problem);
+    execute(driver, &spec, &store, &options)
+}
+
+fn command_resume(args: &[String]) -> Result<(), CliError> {
+    let options = parse_options(args, "checkpoint file")?;
+    let stored = CheckpointStore::load(&options.target)
+        .map_err(|err| CliError::failed(format!("{}: {err}", options.target.display())))?;
+    // The embedded canonical spec makes the checkpoint self-describing; an
+    // explicit --spec must hash-match it or the resume is refused.
+    let spec = RunSpec::from_text(&stored.spec_text).map_err(|err| {
+        CliError::failed(format!(
+            "{}: embedded spec does not parse ({err})",
+            options.target.display()
+        ))
+    })?;
+    if let Some(override_path) = &options.spec_override {
+        let override_spec = read_spec_file(override_path)?;
+        stored
+            .ensure_matches(&override_spec)
+            .map_err(|err| CliError::failed(format!("{}: {err}", override_path.display())))?;
+    }
+    let problem = AnyProblem::from_spec(&spec.problem).map_err(CliError::failed)?;
+    validate_spec_against_problem(&spec, &problem).map_err(CliError::failed)?;
+    let checkpoint_dir = options
+        .checkpoint_dir
+        .clone()
+        .or_else(|| options.target.parent().map(Path::to_path_buf))
+        .unwrap_or_else(|| PathBuf::from("."));
+    let store = CheckpointStore::create(&checkpoint_dir, &spec).map_err(CliError::failed)?;
+    println!(
+        "resume: {} on '{}' from generation {} ({} evaluations so far)",
+        spec.optimizer.kind(),
+        spec.problem.name,
+        stored.generation(),
+        stored.evaluations()
+    );
+
+    let mut exec_spec = spec.clone();
+    exec_spec.log_every = None;
+    let driver = resume_spec_driver(&exec_spec, &problem, stored.checkpoint)
+        .map_err(|err| CliError::failed(format!("cannot resume: {err}")))?;
+    execute(driver, &spec, &store, &options)
+}
+
+/// What a finished (or `--stop-after`-interrupted) generation loop leaves
+/// behind. Plain data — the driver itself is dropped inside the worker so
+/// its channel observer hangs up and the progress consumer terminates.
+struct RunResult {
+    checkpoint: pathway_moo::engine::RunCheckpoint,
+    front: Vec<Individual>,
+    generation: usize,
+    evaluations: usize,
+    checkpoint_error: Option<pathway_moo::engine::CheckpointError>,
+}
+
+/// Drives a run to completion (or to `--stop-after`), streaming telemetry
+/// and writing periodic + final checkpoints.
+fn execute(
+    driver: Driver<'_, AnyProblem, AnyOptimizer>,
+    spec: &RunSpec,
+    store: &CheckpointStore,
+    options: &Options,
+) -> Result<(), CliError> {
+    let progress_every = spec
+        .log_every
+        .unwrap_or(spec.stopping.max_generations / 20)
+        .max(1);
+
+    let result = if options.quiet {
+        drive(driver, spec, store, options.stop_after)
+    } else {
+        // The driver steps on a worker thread; the main thread renders the
+        // generation reports streaming out of the channel observer.
+        let (observer, reports) = ChannelObserver::channel();
+        let driver = driver.with_observer(observer);
+        std::thread::scope(|scope| {
+            let worker = scope.spawn(|| drive(driver, spec, store, options.stop_after));
+            // Ends when the worker finishes: `drive` drops the driver (and
+            // with it the observer), which closes the channel.
+            for report in reports {
+                if report.generation == 1 || report.generation.is_multiple_of(progress_every) {
+                    print_progress(&report, spec.stopping.max_generations);
+                }
+            }
+            worker.join().expect("run worker thread must not panic")
+        })
+    };
+    // The completed run's state lives only in memory now. Attempt every
+    // output — final checkpoint AND front file — before reporting any write
+    // failure, so one broken destination never discards what the other
+    // could still persist.
+    let final_saved = store.save(&result.checkpoint);
+    println!(
+        "done: {} generations, {} evaluations, {} non-dominated solutions",
+        result.generation,
+        result.evaluations,
+        result.front.len()
+    );
+    if let Ok(final_path) = &final_saved {
+        println!("checkpoint: {}", final_path.display());
+        if let Some(stop_after) = options.stop_after {
+            if result.generation >= stop_after {
+                println!("stopped early by --stop-after {stop_after}; resume with:");
+                println!("    pathway resume {}", final_path.display());
+            }
+        }
+    }
+    let mut front_error = None;
+    if let Some(front_out) = &options.front_out {
+        match write_front_file(front_out, &result.front) {
+            Ok(()) => println!(
+                "front: {} ({} solutions)",
+                front_out.display(),
+                result.front.len()
+            ),
+            Err(err) => front_error = Some(format!("{}: {err}", front_out.display())),
+        }
+    }
+    print_front_summary(&result.front);
+    if let Err(err) = final_saved {
+        return Err(CliError::failed(format!(
+            "final checkpoint write failed: {err}"
+        )));
+    }
+    if let Some(message) = front_error {
+        return Err(CliError::failed(message));
+    }
+    if let Some(err) = result.checkpoint_error {
+        return Err(CliError::failed(format!(
+            "a periodic checkpoint write failed mid-run (the final checkpoint above was \
+             written successfully): {err}"
+        )));
+    }
+    Ok(())
+}
+
+/// The generation loop: advances in checkpoint-sized chunks until the
+/// stopping rule (or `--stop-after`) fires, writing a checkpoint at every
+/// `checkpoint_every` boundary.
+///
+/// Chunks run through [`Driver::run_for`], so a `--quiet` run with no
+/// hypervolume-reading stopping rule skips per-generation telemetry
+/// entirely; with the channel observer attached (the default), every
+/// generation still produces a streamed report. A checkpoint-write failure
+/// is warned about immediately and retried at the next boundary — one disk
+/// hiccup must neither kill the run nor disable the durability it exists
+/// to provide; the first error is carried in the result for the exit code.
+fn drive(
+    mut driver: Driver<'_, AnyProblem, AnyOptimizer>,
+    spec: &RunSpec,
+    store: &CheckpointStore,
+    stop_after: Option<usize>,
+) -> RunResult {
+    let mut checkpoint_error = None;
+    loop {
+        let mut budget = usize::MAX;
+        if spec.checkpoint_every > 0 {
+            // Generations until the next checkpoint boundary.
+            budget = spec.checkpoint_every - driver.generation() % spec.checkpoint_every;
+        }
+        if let Some(limit) = stop_after {
+            if driver.generation() >= limit {
+                break;
+            }
+            budget = budget.min(limit - driver.generation());
+        }
+        let ran = driver.run_for(budget);
+        if ran == 0 {
+            break; // the stopping rule fired before any generation ran
+        }
+        if spec.checkpoint_every > 0 && driver.generation().is_multiple_of(spec.checkpoint_every) {
+            if let Err(err) = store.save(&driver.checkpoint()) {
+                eprintln!(
+                    "warning: checkpoint write failed at generation {}: {err}",
+                    driver.generation()
+                );
+                if checkpoint_error.is_none() {
+                    checkpoint_error = Some(err);
+                }
+            }
+        }
+        if ran < budget {
+            break; // the stopping rule fired mid-chunk
+        }
+    }
+    RunResult {
+        checkpoint: driver.checkpoint(),
+        front: driver.front(),
+        generation: driver.generation(),
+        evaluations: driver.optimizer().evaluations(),
+        checkpoint_error,
+    }
+}
+
+fn print_progress(report: &GenerationReport, max_generations: usize) {
+    println!(
+        "[gen {:>6}/{max_generations}] evals {:>9}  front {:>4}  hv {:<13}  ({:.1?})",
+        report.generation,
+        report.evaluations,
+        report.front_size,
+        if report.hypervolume.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{:.6e}", report.hypervolume)
+        },
+        report.wall_clock
+    );
+}
+
+fn print_front_summary(front: &[Individual]) {
+    for individual in front.iter().take(5) {
+        let objectives: Vec<String> = individual
+            .objectives
+            .iter()
+            .map(|o| format!("{o:.6}"))
+            .collect();
+        println!("  f = [{}]", objectives.join(", "));
+    }
+    if front.len() > 5 {
+        println!("  ... and {} more", front.len() - 5);
+    }
+}
+
+/// Writes a front bit-exactly: one line per solution, every `f64` rendered
+/// as its IEEE-754 bits in hex, so two fronts are equal iff the files are
+/// byte-identical. The cross-process resume test relies on this.
+fn write_front_file(path: &Path, front: &[Individual]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut out = String::with_capacity(front.len() * 64 + 32);
+    out.push_str("pathway-front v1\n");
+    for individual in front {
+        let hex = |values: &[f64]| {
+            values
+                .iter()
+                .map(|v| format!("{:016x}", v.to_bits()))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        out.push_str(&format!(
+            "x={} f={} c={:016x}\n",
+            hex(&individual.variables),
+            hex(&individual.objectives),
+            individual.violation.to_bits()
+        ));
+    }
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())?;
+    file.sync_all()
+}
+
+fn command_inspect(args: &[String]) -> Result<(), CliError> {
+    let [path] = args else {
+        return Err(CliError::Usage(
+            "inspect takes exactly one file argument".to_string(),
+        ));
+    };
+    let path = Path::new(path);
+    let bytes = std::fs::read(path)
+        .map_err(|err| CliError::failed(format!("cannot read {}: {err}", path.display())))?;
+    if bytes.starts_with(b"PWCK") {
+        let stored = pathway_moo::engine::decode_checkpoint(&bytes)
+            .map_err(|err| CliError::failed(format!("{}: {err}", path.display())))?;
+        inspect_checkpoint(path, &stored);
+        return Ok(());
+    }
+    let text = String::from_utf8(bytes).map_err(|_| {
+        CliError::failed(format!(
+            "{}: neither a checkpoint nor UTF-8 text",
+            path.display()
+        ))
+    })?;
+    let spec = RunSpec::from_text(&text)
+        .map_err(|err| CliError::failed(format!("{}: {err}", path.display())))?;
+    inspect_spec(path, &spec)
+}
+
+fn inspect_checkpoint(path: &Path, stored: &StoredCheckpoint) {
+    println!("{}: pathway checkpoint v1", path.display());
+    println!("  spec hash:   {:#018x}", stored.spec_hash);
+    println!("  generation:  {}", stored.generation());
+    println!("  evaluations: {}", stored.evaluations());
+    println!("  optimizer:   {}", stored.checkpoint.optimizer.kind());
+    println!(
+        "  hypervolume: {} tracked generations",
+        stored.checkpoint.hypervolume_history.len()
+    );
+    println!("  embedded spec:");
+    for line in stored.spec_text.lines() {
+        println!("    {line}");
+    }
+}
+
+fn inspect_spec(path: &Path, spec: &RunSpec) -> Result<(), CliError> {
+    let problem = AnyProblem::from_spec(&spec.problem).map_err(CliError::failed)?;
+    validate_spec_against_problem(spec, &problem).map_err(CliError::failed)?;
+    use pathway_moo::MultiObjectiveProblem;
+    println!("{}: valid pathway spec", path.display());
+    println!("  content hash: {:#018x}", spec.content_hash());
+    println!(
+        "  problem:      {} ({} variables, {} objectives)",
+        spec.problem.name,
+        problem.num_variables(),
+        problem.num_objectives()
+    );
+    println!("  optimizer:    {}", spec.optimizer.kind());
+    println!(
+        "  budget:       {} generations",
+        spec.stopping.max_generations
+    );
+    println!("  canonical form:");
+    for line in spec.to_text().lines() {
+        println!("    {line}");
+    }
+    Ok(())
+}
+
+fn command_list_problems(args: &[String]) -> Result<(), CliError> {
+    if !args.is_empty() {
+        return Err(CliError::Usage(
+            "list-problems takes no arguments".to_string(),
+        ));
+    }
+    println!("problems known to the registry ([problem] name = ...):\n");
+    for info in PROBLEM_CATALOG {
+        println!("  {:<12} {}", info.name, info.summary);
+        for (param, description) in info.params {
+            println!("      {param:<14} {description}");
+        }
+    }
+    Ok(())
+}

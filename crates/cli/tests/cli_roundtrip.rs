@@ -1,0 +1,295 @@
+//! Cross-process CLI tests.
+//!
+//! The acceptance bar for durable checkpoints: `pathway run <spec>`, kill
+//! the process part-way (simulated deterministically with `--stop-after`,
+//! which exits after writing a checkpoint exactly like a kill between
+//! generations would leave one), then `pathway resume <checkpoint>` in a
+//! *fresh process* — and the final front must be byte-identical to the
+//! uninterrupted run's, for the Serial and the Threads(2) evaluation
+//! backend alike. Fronts are compared through `--front-out` files, which
+//! render every f64 as its IEEE-754 bits.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn pathway() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pathway"))
+}
+
+fn run_ok(args: &[&str]) -> Output {
+    let output = pathway().args(args).output().expect("spawn pathway");
+    assert!(
+        output.status.success(),
+        "pathway {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pathway-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn write_spec(dir: &Path, backend: &str) -> PathBuf {
+    let text = format!(
+        "pathway-spec v1\n\n\
+         [problem]\nname = zdt1\nvariables = 6\n\n\
+         [optimizer]\nkind = archipelago\nislands = 2\npopulation = 16\n\
+         backend = {backend}\nmigration_interval = 4\ntopology = ring\n\n\
+         [run]\nseed = 99\ncheckpoint_every = 3\n\n\
+         [stop]\nmax_generations = 12\n"
+    );
+    let path = dir.join("run.spec");
+    std::fs::write(&path, text).expect("write spec");
+    path
+}
+
+fn assert_identical(a: &Path, b: &Path) {
+    let left = std::fs::read(a).expect("front file a");
+    let right = std::fs::read(b).expect("front file b");
+    assert!(
+        !left.is_empty() && left == right,
+        "fronts differ between {} and {}",
+        a.display(),
+        b.display()
+    );
+}
+
+fn kill_resume_roundtrip(backend: &str, tag: &str) {
+    let dir = temp_dir(tag);
+    let spec = write_spec(&dir, backend);
+    let spec = spec.to_str().unwrap();
+
+    // Uninterrupted run.
+    let full_front = dir.join("full.front");
+    let full_ckpt = dir.join("full-ckpt");
+    run_ok(&[
+        "run",
+        spec,
+        "--checkpoint-dir",
+        full_ckpt.to_str().unwrap(),
+        "--front-out",
+        full_front.to_str().unwrap(),
+        "--quiet",
+    ]);
+
+    // The same run, killed after 5 generations...
+    let split_ckpt = dir.join("split-ckpt");
+    run_ok(&[
+        "run",
+        spec,
+        "--checkpoint-dir",
+        split_ckpt.to_str().unwrap(),
+        "--stop-after",
+        "5",
+        "--quiet",
+    ]);
+    // ... and resumed in a fresh process from the checkpoint alone (the
+    // spec is embedded — no spec file is passed).
+    let resumed_front = dir.join("resumed.front");
+    run_ok(&[
+        "resume",
+        split_ckpt.join("gen-5.ckpt").to_str().unwrap(),
+        "--front-out",
+        resumed_front.to_str().unwrap(),
+        "--quiet",
+    ]);
+
+    assert_identical(&full_front, &resumed_front);
+
+    // The periodic checkpoints (every 3 generations) also resume to the
+    // same front: resume from gen-3 of the *full* run's checkpoint dir.
+    let periodic_front = dir.join("periodic.front");
+    run_ok(&[
+        "resume",
+        full_ckpt.join("gen-3.ckpt").to_str().unwrap(),
+        "--front-out",
+        periodic_front.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert_identical(&full_front, &periodic_front);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kill_and_resume_is_bit_identical_serial() {
+    kill_resume_roundtrip("serial", "serial");
+}
+
+#[test]
+fn kill_and_resume_is_bit_identical_threaded() {
+    kill_resume_roundtrip("threads:2", "threads");
+}
+
+#[test]
+fn resume_refuses_a_divergent_spec() {
+    let dir = temp_dir("mismatch");
+    let spec = write_spec(&dir, "serial");
+    run_ok(&[
+        "run",
+        spec.to_str().unwrap(),
+        "--checkpoint-dir",
+        dir.join("ckpt").to_str().unwrap(),
+        "--stop-after",
+        "4",
+        "--quiet",
+    ]);
+    // A spec that differs in one semantic field (the seed).
+    let divergent = dir.join("divergent.spec");
+    let text = std::fs::read_to_string(&spec)
+        .unwrap()
+        .replace("seed = 99", "seed = 100");
+    std::fs::write(&divergent, text).unwrap();
+
+    let output = pathway()
+        .args([
+            "resume",
+            dir.join("ckpt/gen-4.ckpt").to_str().unwrap(),
+            "--spec",
+            divergent.to_str().unwrap(),
+            "--quiet",
+        ])
+        .output()
+        .expect("spawn pathway");
+    assert!(!output.status.success(), "divergent spec must be refused");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("different run spec"), "stderr: {stderr}");
+
+    // The matching spec passed explicitly is accepted.
+    run_ok(&[
+        "resume",
+        dir.join("ckpt/gen-4.ckpt").to_str().unwrap(),
+        "--spec",
+        spec.to_str().unwrap(),
+        "--quiet",
+    ]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_checkpoints_fail_loudly() {
+    let dir = temp_dir("corrupt");
+    let spec = write_spec(&dir, "serial");
+    run_ok(&[
+        "run",
+        spec.to_str().unwrap(),
+        "--checkpoint-dir",
+        dir.join("ckpt").to_str().unwrap(),
+        "--stop-after",
+        "3",
+        "--quiet",
+    ]);
+    let ckpt = dir.join("ckpt/gen-3.ckpt");
+    let mut bytes = std::fs::read(&ckpt).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&ckpt, &bytes).unwrap();
+
+    let output = pathway()
+        .args(["resume", ckpt.to_str().unwrap(), "--quiet"])
+        .output()
+        .expect("spawn pathway");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("integrity") || stderr.contains("corrupted"),
+        "stderr: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn inspect_describes_specs_and_checkpoints() {
+    let dir = temp_dir("inspect");
+    let spec = write_spec(&dir, "serial");
+    let output = run_ok(&["inspect", spec.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("valid pathway spec"), "{stdout}");
+    assert!(stdout.contains("zdt1"), "{stdout}");
+
+    run_ok(&[
+        "run",
+        spec.to_str().unwrap(),
+        "--checkpoint-dir",
+        dir.join("ckpt").to_str().unwrap(),
+        "--stop-after",
+        "2",
+        "--quiet",
+    ]);
+    let output = run_ok(&["inspect", dir.join("ckpt/gen-2.ckpt").to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("pathway checkpoint v1"), "{stdout}");
+    assert!(stdout.contains("generation:  2"), "{stdout}");
+    assert!(stdout.contains("name = zdt1"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn list_problems_prints_the_registry() {
+    let output = run_ok(&["list-problems"]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for name in ["leaf-design", "geobacter", "schaffer", "zdt1", "dtlz2"] {
+        assert!(stdout.contains(name), "missing '{name}' in:\n{stdout}");
+    }
+}
+
+#[test]
+fn usage_errors_exit_with_code_two() {
+    let output = pathway().arg("frobnicate").output().expect("spawn pathway");
+    assert_eq!(output.status.code(), Some(2));
+    let output = pathway().output().expect("spawn pathway");
+    assert_eq!(output.status.code(), Some(2));
+    let output = pathway()
+        .args(["run", "a.spec", "b.spec"])
+        .output()
+        .expect("spawn pathway");
+    assert_eq!(output.status.code(), Some(2));
+}
+
+#[test]
+fn wrong_dimension_reference_points_are_rejected_up_front() {
+    // 3 components against a bi-objective problem would panic inside the
+    // hypervolume computation mid-run; the CLI must refuse before running.
+    let dir = temp_dir("refpoint");
+    let bad = dir.join("bad-ref.spec");
+    std::fs::write(
+        &bad,
+        "pathway-spec v1\n[problem]\nname = zdt1\n[optimizer]\nkind = nsga2\n\
+         [run]\nreference_point = 30, 30, 30\n[stop]\nmax_generations = 3\n",
+    )
+    .unwrap();
+    let output = pathway()
+        .args(["run", bad.to_str().unwrap()])
+        .output()
+        .expect("spawn pathway");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("reference_point"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn parse_errors_report_file_and_line() {
+    let dir = temp_dir("parse-error");
+    let bad = dir.join("bad.spec");
+    std::fs::write(
+        &bad,
+        "pathway-spec v1\n[problem]\nname = zdt1\n[optimizer]\nkind = quantum\n",
+    )
+    .unwrap();
+    let output = pathway()
+        .args(["run", bad.to_str().unwrap()])
+        .output()
+        .expect("spawn pathway");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("bad.spec"), "{stderr}");
+    assert!(stderr.contains("line 5"), "{stderr}");
+    assert!(stderr.contains("quantum"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -38,6 +38,7 @@
 mod design;
 mod geobacter_problem;
 mod photosynthesis_problem;
+mod registry;
 mod report;
 mod study;
 
@@ -49,6 +50,10 @@ pub use design::{
 };
 pub use geobacter_problem::{GeobacterFluxProblem, GeobacterSolution};
 pub use photosynthesis_problem::LeafRedesignProblem;
+pub use registry::{
+    resume_spec_driver, spec_driver, validate_spec_against_problem, AnyProblem, ProblemInfo,
+    PROBLEM_CATALOG,
+};
 pub use report::{
     render_table, CoverageRow, Figure1Series, Figure2Bar, Figure4Point, SelectionRow,
 };

@@ -8,16 +8,19 @@
 //! ```
 
 pub use crate::{
+    resume_spec_driver, spec_driver, validate_spec_against_problem, AnyProblem,
     GeobacterFluxProblem, GeobacterOutcome, GeobacterSolution, GeobacterStudy, LeafDesign,
-    LeafDesignOutcome, LeafDesignStudy, LeafRedesignProblem, SelectedLeafDesigns, Study,
-    StudyOutcome,
+    LeafDesignOutcome, LeafDesignStudy, LeafRedesignProblem, ProblemInfo, SelectedLeafDesigns,
+    Study, StudyOutcome, PROBLEM_CATALOG,
 };
 
 pub use pathway_fba::geobacter::GeobacterModel;
 pub use pathway_fba::{FluxBalanceAnalysis, MetabolicModel};
 pub use pathway_moo::engine::{
-    Driver, EngineError, GenerationReport, HistoryObserver, LogObserver, NullObserver, Observer,
-    Optimizer, OptimizerState, RunCheckpoint, StoppingRule,
+    AnyOptimizer, ChannelObserver, CheckpointError, CheckpointStore, Driver, EngineError,
+    GenerationReport, HistoryObserver, LogObserver, NullObserver, Observer, Optimizer,
+    OptimizerSpec, OptimizerState, ProblemSpec, RunCheckpoint, RunSpec, SpecError, StoppingRule,
+    StoppingSpec, StoredCheckpoint,
 };
 pub use pathway_moo::{
     Archipelago, ArchipelagoConfig, EvalBackend, Individual, MigrationTopology, Moead, MoeadConfig,

@@ -9,11 +9,13 @@
 //! checkpoint/resume compose with every problem without touching algorithm
 //! internals.
 
-use pathway_moo::engine::{Driver, StoppingRule};
+use pathway_moo::engine::{Driver, OptimizerSpec, RunSpec, SpecError, StoppingRule};
 use pathway_moo::{
     Archipelago, ArchipelagoConfig, EvalBackend, Individual, MigrationTopology,
     MultiObjectiveProblem, Nsga2Config,
 };
+
+use crate::AnyProblem;
 
 /// What a [`Study`] run produced.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,12 +69,14 @@ pub struct StudyOutcome {
 pub struct Study<P> {
     problem: P,
     islands: usize,
-    population: usize,
+    /// Per-island NSGA-II configuration. `population_size` and `backend`
+    /// are set through the builder methods; `generations` is overridden by
+    /// the study's own budget when the archipelago is built.
+    island: Nsga2Config,
     generations: usize,
     migration_interval: usize,
     migration_probability: f64,
     topology: MigrationTopology,
-    backend: EvalBackend,
     extra_stopping: Option<StoppingRule>,
     reference_point: Option<Vec<f64>>,
 }
@@ -84,12 +88,14 @@ impl<P: MultiObjectiveProblem> Study<P> {
         Study {
             problem,
             islands: 2,
-            population: 80,
+            island: Nsga2Config {
+                population_size: 80,
+                ..Default::default()
+            },
             generations: 400,
             migration_interval: 200,
             migration_probability: 0.5,
             topology: MigrationTopology::Broadcast,
-            backend: EvalBackend::Serial,
             extra_stopping: None,
             reference_point: None,
         }
@@ -99,7 +105,7 @@ impl<P: MultiObjectiveProblem> Study<P> {
     /// The migration interval is clamped to the new budget.
     #[must_use]
     pub fn with_budget(mut self, population: usize, generations: usize) -> Self {
-        self.population = population;
+        self.island.population_size = population;
         self.generations = generations;
         self.migration_interval = self.migration_interval.min(generations.max(1));
         self
@@ -131,7 +137,16 @@ impl<P: MultiObjectiveProblem> Study<P> {
     /// batches. Results are bit-identical across backends for a fixed seed.
     #[must_use]
     pub fn with_backend(mut self, backend: EvalBackend) -> Self {
-        self.backend = backend;
+        self.island.backend = backend;
+        self
+    }
+
+    /// Overrides the full per-island NSGA-II configuration (genetic-operator
+    /// knobs included). The configuration's `generations` field is ignored —
+    /// the study's own budget governs run length.
+    #[must_use]
+    pub fn with_island_config(mut self, island: Nsga2Config) -> Self {
+        self.island = island;
         self
     }
 
@@ -170,10 +185,8 @@ impl<P: MultiObjectiveProblem> Study<P> {
         ArchipelagoConfig {
             islands: self.islands,
             island_config: Nsga2Config {
-                population_size: self.population,
                 generations: self.generations,
-                backend: self.backend,
-                ..Default::default()
+                ..self.island
             },
             migration_interval: self.migration_interval,
             migration_probability: self.migration_probability,
@@ -212,6 +225,75 @@ impl<P: MultiObjectiveProblem> Study<P> {
             evaluations: driver.optimizer().evaluations(),
             generations: driver.generation(),
         }
+    }
+}
+
+impl Study<AnyProblem> {
+    /// Builds a study from a declarative [`RunSpec`] whose optimizer is the
+    /// archipelago: the problem is resolved through the registry
+    /// ([`AnyProblem::from_spec`]) and every archipelago/stopping knob of
+    /// the spec is carried over. The spec's seed is *not* baked in — pass it
+    /// (or any other seed) to [`Study::run`] / [`Study::driver`].
+    ///
+    /// For NSGA-II or MOEA/D specs use [`crate::spec_driver`], which drives
+    /// any optimizer kind.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Field`] when the spec's optimizer is not the archipelago
+    /// or its problem cannot be resolved.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pathway_core::prelude::*;
+    ///
+    /// let spec = RunSpec::from_text("\
+    /// pathway-spec v1
+    /// [problem]
+    /// name = schaffer
+    /// [optimizer]
+    /// kind = archipelago
+    /// population = 16
+    /// migration_interval = 5
+    /// [stop]
+    /// max_generations = 10
+    /// ").unwrap();
+    /// let outcome = Study::from_spec(&spec).unwrap().run(spec.seed);
+    /// assert!(!outcome.front.is_empty());
+    /// ```
+    pub fn from_spec(spec: &RunSpec) -> Result<Self, SpecError> {
+        let OptimizerSpec::Archipelago(archipelago) = &spec.optimizer else {
+            return Err(SpecError::field(
+                "optimizer.kind",
+                format!(
+                    "Study::from_spec drives the archipelago, not '{}' (use spec_driver for \
+                     other optimizer kinds)",
+                    spec.optimizer.kind()
+                ),
+            ));
+        };
+        let problem = AnyProblem::from_spec(&spec.problem)?;
+        crate::validate_spec_against_problem(spec, &problem)?;
+        let mut study = Study::new(problem)
+            .with_islands(archipelago.islands)
+            .with_island_config(archipelago.island.config(spec.stopping.max_generations))
+            .with_budget(archipelago.island.population, spec.stopping.max_generations)
+            .with_migration(
+                archipelago.migration_interval,
+                archipelago.migration_probability,
+            )
+            .with_topology(archipelago.topology);
+        if let Some(budget) = spec.stopping.max_evaluations {
+            study = study.with_stopping(StoppingRule::MaxEvaluations(budget));
+        }
+        if let Some((window, epsilon)) = spec.stopping.stagnation {
+            study = study.with_stopping(StoppingRule::HypervolumeStagnation { window, epsilon });
+        }
+        if let Some(reference) = &spec.reference_point {
+            study = study.with_reference_point(reference.clone());
+        }
+        Ok(study)
     }
 }
 

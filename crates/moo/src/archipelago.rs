@@ -11,7 +11,11 @@ pub enum MigrationTopology {
     /// configuration).
     #[default]
     Broadcast,
-    /// Each island sends only to its successor in a ring.
+    /// Each island sends only to its successor in a ring. Exports are
+    /// passed neighbor-to-neighbor by ownership instead of cloned all-pairs,
+    /// so a migration event costs `islands` buffer moves rather than the
+    /// `islands²` individual copies of [`MigrationTopology::Broadcast`] —
+    /// the scalable choice for wide archipelagos.
     Ring,
     /// No migration at all; equivalent to independent restarts. Used by the
     /// ablation bench.
@@ -295,28 +299,39 @@ impl Archipelago {
 
         let n = self.islands.len();
         let mut received = vec![false; n];
-        for (source, export) in exports.iter().enumerate() {
-            if !self
-                .migration_rng
-                .gen_bool(self.config.migration_probability.clamp(0.0, 1.0))
-            {
-                continue;
-            }
-            let targets = match self.config.topology {
-                MigrationTopology::Broadcast => 0..n,
-                MigrationTopology::Ring => {
-                    let next = (source + 1) % n;
-                    next..next + 1
+        let probability = self.config.migration_probability.clamp(0.0, 1.0);
+        match self.config.topology {
+            // Broadcast is inherently clone-heavy: every export is copied to
+            // all n-1 other islands (n² individual copies in total).
+            MigrationTopology::Broadcast => {
+                for (source, export) in exports.iter().enumerate() {
+                    if !self.migration_rng.gen_bool(probability) {
+                        continue;
+                    }
+                    for (target, island) in self.islands.iter_mut().enumerate() {
+                        if target == source {
+                            continue;
+                        }
+                        island.inject_migrants(export.iter().cloned());
+                        received[target] = true;
+                    }
                 }
-                MigrationTopology::Isolated => 0..0,
-            };
-            for target in targets {
-                if target == source {
-                    continue;
-                }
-                self.islands[target].inject_migrants(export.iter().cloned());
-                received[target] = true;
             }
+            // Each export has exactly one recipient (the ring successor), so
+            // ownership of the export buffer is *moved* into the target
+            // population — the only copies are the n archive reads above,
+            // not the n² clones broadcast would pay.
+            MigrationTopology::Ring => {
+                for (source, export) in exports.into_iter().enumerate() {
+                    if !self.migration_rng.gen_bool(probability) {
+                        continue;
+                    }
+                    let target = (source + 1) % n;
+                    self.islands[target].inject_migrants(export);
+                    received[target] = true;
+                }
+            }
+            MigrationTopology::Isolated => unreachable!("isolated returns early above"),
         }
         for (island, got_migrants) in self.islands.iter_mut().zip(received) {
             if got_migrants {
@@ -555,6 +570,50 @@ mod tests {
         };
         let front = Archipelago::new(cfg, 3).run(&Schaffer);
         assert!(!front.is_empty());
+    }
+
+    #[test]
+    fn ring_migration_moves_exports_to_the_successor_only() {
+        // Probability 1 so every island participates in the event.
+        let cfg = ArchipelagoConfig {
+            islands: 3,
+            island_config: Nsga2Config {
+                population_size: 10,
+                ..Default::default()
+            },
+            migration_interval: 4,
+            migration_probability: 1.0,
+            topology: MigrationTopology::Ring,
+        };
+        let mut archipelago = Archipelago::new(cfg, 17);
+        archipelago.initialize(&Schaffer);
+        for _ in 0..4 {
+            archipelago.step(&Schaffer);
+        }
+        // The next step fires the lazy epoch-boundary migration.
+        archipelago.migrate();
+        // Every island exported its archive to exactly one successor, so
+        // each population grew by its predecessor's archive size.
+        for (index, island) in archipelago.islands().iter().enumerate() {
+            let predecessor = (index + 2) % 3;
+            let expected = 10 + archipelago.archives[predecessor].len();
+            assert_eq!(
+                island.population().len(),
+                expected,
+                "island {index} should hold its residents plus island {predecessor}'s archive"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_runs_are_deterministic() {
+        let cfg = ArchipelagoConfig {
+            topology: MigrationTopology::Ring,
+            ..config(3, 18, 4)
+        };
+        let a = Archipelago::new(cfg, 11).run(&Schaffer);
+        let b = Archipelago::new(cfg, 11).run(&Schaffer);
+        assert_eq!(a, b);
     }
 
     #[test]

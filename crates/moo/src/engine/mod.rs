@@ -16,6 +16,15 @@
 //!   [`StoppingRule`] fires, and can [`checkpoint`](Driver::checkpoint) /
 //!   [`resume`](Driver::resume) a run so that a split run is bit-identical
 //!   to an unsplit one.
+//! * [`RunSpec`] — a declarative, serializable run description (problem,
+//!   optimizer configuration, seed, stopping rules, observer sinks) with a
+//!   canonical text codec ([`RunSpec::to_text`] / [`RunSpec::from_text`])
+//!   and a content hash; [`AnyOptimizer`] lets spec-driven code hold any
+//!   optimizer kind behind one type.
+//! * [`CheckpointStore`] — durable on-disk checkpoints: atomic writes, a
+//!   versioned header with an integrity checksum, the spec embedded for
+//!   self-describing resume, and a spec-hash check that rejects resuming
+//!   under a different spec.
 //!
 //! # Example
 //!
@@ -38,13 +47,25 @@
 
 mod driver;
 mod observer;
+mod spec;
 mod state;
 mod stopping;
+mod store;
 
 pub use driver::{Driver, RunCheckpoint};
-pub use observer::{GenerationReport, HistoryObserver, LogObserver, NullObserver, Observer};
+pub use observer::{
+    ChannelObserver, GenerationReport, HistoryObserver, LogObserver, NullObserver, Observer,
+};
+pub use spec::{
+    AnyOptimizer, ArchipelagoSpec, MoeadSpec, Nsga2Spec, OptimizerSpec, ProblemSpec, RunSpec,
+    SpecError, StoppingSpec, SPEC_HEADER,
+};
 pub use state::{ArchipelagoState, EngineError, MoeadState, Nsga2State, OptimizerState, RngState};
 pub use stopping::{RunStatus, StoppingRule};
+pub use store::{
+    decode_checkpoint, encode_checkpoint, read_checkpoint_file, write_checkpoint_file,
+    CheckpointError, CheckpointStore, StoredCheckpoint,
+};
 
 use crate::{Individual, MultiObjectiveProblem};
 

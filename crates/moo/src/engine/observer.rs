@@ -1,5 +1,6 @@
 //! Per-generation telemetry for [`crate::engine::Driver`] runs.
 
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -28,8 +29,11 @@ pub struct GenerationReport {
 /// order but cannot influence the run (use
 /// [`crate::engine::StoppingRule`]s to end it). They are intentionally not
 /// part of [`crate::engine::RunCheckpoint`]s — re-attach them after
-/// [`crate::engine::Driver::resume`].
-pub trait Observer {
+/// [`crate::engine::Driver::resume`]. `Send` is required so a driver with
+/// observers attached can run on a worker thread while a consumer (e.g. the
+/// `pathway` CLI draining a [`ChannelObserver`]) renders the telemetry
+/// elsewhere.
+pub trait Observer: Send {
     /// Called once after each completed generation, in generation order.
     fn on_generation(&mut self, report: &GenerationReport);
 }
@@ -140,6 +144,56 @@ impl Observer for HistoryObserver {
     }
 }
 
+/// Streams every [`GenerationReport`] into an [`std::sync::mpsc`] channel.
+///
+/// This is the asynchronous observer sink: the driver (typically running on
+/// a worker thread) stays decoupled from whoever renders the telemetry — a
+/// CLI progress printer, a dashboard, a log shipper — which drains the
+/// [`Receiver`] at its own pace. The channel is unbounded, so the driver
+/// never blocks on a slow consumer, and a dropped receiver is tolerated:
+/// reports are then silently discarded, because telemetry must never be able
+/// to kill a run.
+///
+/// # Example
+///
+/// ```
+/// use pathway_moo::engine::{ChannelObserver, Driver, StoppingRule};
+/// use pathway_moo::{Nsga2, Nsga2Config, problems::Schaffer};
+///
+/// let (observer, reports) = ChannelObserver::channel();
+/// let config = Nsga2Config { population_size: 16, ..Default::default() };
+/// std::thread::scope(|scope| {
+///     scope.spawn(move || {
+///         Driver::new(Nsga2::new(config, 1), &Schaffer)
+///             .with_observer(observer)
+///             .with_stopping(StoppingRule::MaxGenerations(5))
+///             .run();
+///         // Dropping the driver (and with it the observer) closes the
+///         // channel, ending the consumer's iteration below.
+///     });
+///     assert_eq!(reports.iter().count(), 5);
+/// });
+/// ```
+#[derive(Debug)]
+pub struct ChannelObserver {
+    sender: Sender<GenerationReport>,
+}
+
+impl ChannelObserver {
+    /// Creates a connected observer/receiver pair.
+    pub fn channel() -> (Self, Receiver<GenerationReport>) {
+        let (sender, receiver) = std::sync::mpsc::channel();
+        (ChannelObserver { sender }, receiver)
+    }
+}
+
+impl Observer for ChannelObserver {
+    fn on_generation(&mut self, report: &GenerationReport) {
+        // A hung-up receiver is fine: the run outlives its telemetry sinks.
+        let _ = self.sender.send(report.clone());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +217,18 @@ mod tests {
         handle.on_generation(&report(2));
         assert_eq!(history.len(), 2);
         assert_eq!(history.reports()[1].generation, 2);
+    }
+
+    #[test]
+    fn channel_observer_streams_reports_and_survives_a_dropped_receiver() {
+        let (mut observer, receiver) = ChannelObserver::channel();
+        observer.on_generation(&report(1));
+        observer.on_generation(&report(2));
+        assert_eq!(receiver.try_iter().count(), 2);
+        drop(receiver);
+        // Telemetry must never kill the run: sends to a hung-up channel are
+        // swallowed.
+        observer.on_generation(&report(3));
     }
 
     #[test]

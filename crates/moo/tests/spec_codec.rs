@@ -1,0 +1,199 @@
+//! Property tests for the [`RunSpec`] text codec.
+//!
+//! The codec's contract is exact round-tripping: for every valid spec,
+//! `from_text(to_text(spec)) == spec` and the content hash is stable. These
+//! tests sweep randomized specs across all optimizer kinds, optional-field
+//! combinations and float-valued knobs (floats are rendered with Rust's
+//! shortest round-trip formatting, so bit-exactness is expected, not
+//! approximate equality).
+
+use proptest::prelude::*;
+
+use pathway_moo::engine::{
+    ArchipelagoSpec, MoeadSpec, Nsga2Spec, OptimizerSpec, ProblemSpec, RunSpec, SpecError,
+    StoppingSpec,
+};
+use pathway_moo::{EvalBackend, MigrationTopology};
+
+/// Deterministically expands a handful of drawn scalars into a full spec,
+/// exercising every enum arm and optional field.
+#[allow(clippy::too_many_arguments)]
+fn build_spec(
+    kind: usize,
+    population: usize,
+    probability: f64,
+    eta: f64,
+    options: usize,
+    seed: u64,
+    generations: usize,
+    threads: usize,
+) -> RunSpec {
+    let backend = if threads == 0 {
+        EvalBackend::Serial
+    } else {
+        EvalBackend::Threads(threads)
+    };
+    let mutation_probability = if options & 1 == 0 {
+        None
+    } else {
+        Some(probability * 0.5)
+    };
+    let island = Nsga2Spec {
+        population: population.max(2),
+        crossover_probability: probability,
+        eta_crossover: eta,
+        mutation_probability,
+        eta_mutation: eta + 1.0,
+        backend,
+    };
+    let optimizer = match kind {
+        0 => OptimizerSpec::Nsga2(island),
+        1 => OptimizerSpec::Moead(MoeadSpec {
+            population: population.max(2),
+            neighborhood: (population / 2).max(1),
+            eta_crossover: eta,
+            eta_mutation: eta + 2.0,
+            mutation_probability,
+            backend,
+        }),
+        _ => OptimizerSpec::Archipelago(ArchipelagoSpec {
+            islands: (population % 5).max(1),
+            island,
+            migration_interval: (generations / 3).max(1),
+            migration_probability: probability,
+            topology: match options % 3 {
+                0 => MigrationTopology::Broadcast,
+                1 => MigrationTopology::Ring,
+                _ => MigrationTopology::Isolated,
+            },
+        }),
+    };
+    let mut problem = ProblemSpec::named("zdt1");
+    if options & 2 != 0 {
+        problem = problem.with_param("variables", population.to_string());
+    }
+    RunSpec {
+        problem,
+        optimizer,
+        seed,
+        checkpoint_every: options % 7,
+        reference_point: if options & 4 != 0 {
+            Some(vec![
+                probability * 10.0 + 1.0,
+                eta,
+                seed as f64 * 0.25 + 0.5,
+            ])
+        } else {
+            None
+        },
+        stopping: StoppingSpec {
+            max_generations: generations.max(1),
+            max_evaluations: if options & 8 != 0 {
+                Some(generations * population)
+            } else {
+                None
+            },
+            stagnation: if options & 16 != 0 {
+                Some(((options % 9) + 1, probability * 1e-6))
+            } else {
+                None
+            },
+        },
+        log_every: if options & 32 != 0 {
+            Some((options % 11) + 1)
+        } else {
+            None
+        },
+    }
+}
+
+proptest! {
+    #[test]
+    fn prop_canonical_text_round_trips_exactly(
+        kind in 0usize..3,
+        population in 2usize..300,
+        probability in 0.0f64..1.0,
+        eta in 0.5f64..40.0,
+        options in 0usize..64,
+        seed in 0u64..1_000_000,
+        generations in 1usize..1000,
+        threads in 0usize..9,
+    ) {
+        let spec = build_spec(kind, population, probability, eta, options, seed, generations, threads);
+        spec.validate().expect("generated specs are valid");
+        let text = spec.to_text();
+        let reparsed = RunSpec::from_text(&text).expect("canonical text parses");
+        prop_assert_eq!(&reparsed, &spec);
+        // Hash is a pure function of the canonical form.
+        prop_assert_eq!(reparsed.content_hash(), spec.content_hash());
+        // Re-rendering is idempotent.
+        prop_assert_eq!(reparsed.to_text(), text);
+    }
+
+    #[test]
+    fn prop_formatting_noise_is_normalized_away(
+        kind in 0usize..3,
+        population in 2usize..100,
+        probability in 0.0f64..1.0,
+        eta in 0.5f64..40.0,
+        options in 0usize..64,
+        seed in 0u64..1000,
+    ) {
+        let spec = build_spec(kind, population, probability, eta, options, seed, 50, 0);
+        // Extra whitespace, comments and blank lines must not affect the
+        // parsed value or its hash.
+        let noisy: String = spec
+            .to_text()
+            .lines()
+            .map(|line| format!("  {}   # noise\n\n", line.replace(" = ", "   =  ")))
+            .collect();
+        let reparsed = RunSpec::from_text(&noisy).expect("noisy text parses");
+        prop_assert_eq!(&reparsed, &spec);
+        prop_assert_eq!(reparsed.content_hash(), spec.content_hash());
+    }
+
+    #[test]
+    fn prop_truncated_documents_never_panic(
+        kind in 0usize..3,
+        cut in 0usize..2000,
+        seed in 0u64..1000,
+    ) {
+        let spec = build_spec(kind, 20, 0.5, 15.0, 63, seed, 50, 2);
+        let text = spec.to_text();
+        let cut = cut.min(text.len());
+        if !text.is_char_boundary(cut) {
+            return; // align on a UTF-8 boundary; content is ASCII anyway
+        }
+        // Parsing any prefix must either succeed (a shorter but complete
+        // document) or fail with a structured error — never panic.
+        let _ = RunSpec::from_text(&text[..cut]);
+    }
+}
+
+#[test]
+fn field_errors_name_the_offending_field() {
+    let mut spec = build_spec(2, 20, 0.5, 15.0, 0, 1, 50, 0);
+    if let OptimizerSpec::Archipelago(arch) = &mut spec.optimizer {
+        arch.island.crossover_probability = 7.0;
+    }
+    match spec.validate() {
+        Err(SpecError::Field { field, .. }) => {
+            assert_eq!(field, "optimizer.crossover_probability");
+        }
+        other => panic!("expected a field error, got {other:?}"),
+    }
+}
+
+#[test]
+fn line_errors_point_at_the_line() {
+    // Line 6 holds the broken value.
+    let text =
+        "pathway-spec v1\n[problem]\nname = zdt1\n[optimizer]\nkind = archipelago\nislands = two\n";
+    match RunSpec::from_text(text) {
+        Err(SpecError::Parse { line, message }) => {
+            assert_eq!(line, 6);
+            assert!(message.contains("islands"), "{message}");
+        }
+        other => panic!("expected a parse error, got {other:?}"),
+    }
+}
