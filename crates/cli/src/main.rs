@@ -22,15 +22,18 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use pathway_core::{
-    resume_spec_driver, spec_driver, validate_spec_against_problem, AnyProblem, PROBLEM_CATALOG,
+    resume_spec_driver_with_executor, spec_driver_with_executor, validate_spec_against_problem,
+    AnyProblem, PROBLEM_CATALOG,
 };
 use pathway_moo::engine::{
     AnyOptimizer, ChannelObserver, CheckpointStore, Driver, GenerationReport, RunSpec,
     StoredCheckpoint,
 };
-use pathway_moo::Individual;
+use pathway_moo::exec::Executor;
+use pathway_moo::{EvalBackend, Individual};
 
 const USAGE: &str = "\
 pathway — declarative driver for robust-pathway-design runs
@@ -47,6 +50,10 @@ OPTIONS (run / resume):
                               or the checkpoint's own directory on resume)
     --stop-after <n>         stop (with a final checkpoint) once <n> total
                              generations are done — simulates interruption
+    --threads <n>            evaluate on one persistent pool of <n> worker
+                             threads for the whole invocation, overriding the
+                             spec's backend (0 or 1 = serial); results are
+                             bit-identical either way, only wall-clock changes
     --front-out <file>       write the final front, bit-exactly, to <file>
     --spec <file>            (resume) verify the checkpoint against this spec
     --quiet                  no per-generation progress output
@@ -103,8 +110,23 @@ struct Options {
     checkpoint_dir: Option<PathBuf>,
     spec_override: Option<PathBuf>,
     stop_after: Option<usize>,
+    threads: Option<usize>,
     front_out: Option<PathBuf>,
     quiet: bool,
+}
+
+impl Options {
+    /// The one executor this whole invocation evaluates on: `--threads`
+    /// when given, otherwise whatever backend the spec's optimizer carries.
+    /// Built exactly once per process, so every generation of a run — and
+    /// of a resume — reuses the same worker pool.
+    fn executor(&self, spec: &RunSpec) -> Arc<Executor> {
+        let backend = match self.threads {
+            Some(threads) => EvalBackend::Threads(threads),
+            None => spec.optimizer.backend(),
+        };
+        Executor::shared(backend)
+    }
 }
 
 fn parse_options(args: &[String], what: &str) -> Result<Options, CliError> {
@@ -114,6 +136,7 @@ fn parse_options(args: &[String], what: &str) -> Result<Options, CliError> {
         checkpoint_dir: None,
         spec_override: None,
         stop_after: None,
+        threads: None,
         front_out: None,
         quiet: false,
     };
@@ -133,6 +156,13 @@ fn parse_options(args: &[String], what: &str) -> Result<Options, CliError> {
                 let raw = raw.to_string_lossy();
                 options.stop_after = Some(raw.parse().map_err(|_| {
                     CliError::Usage(format!("--stop-after needs a number, got '{raw}'"))
+                })?);
+            }
+            "--threads" => {
+                let raw = value_of("--threads")?;
+                let raw = raw.to_string_lossy();
+                options.threads = Some(raw.parse().map_err(|_| {
+                    CliError::Usage(format!("--threads needs a number, got '{raw}'"))
                 })?);
             }
             "--quiet" => options.quiet = true,
@@ -169,12 +199,14 @@ fn command_run(args: &[String]) -> Result<(), CliError> {
         dir
     });
     let store = CheckpointStore::create(&checkpoint_dir, &spec).map_err(CliError::failed)?;
+    let executor = options.executor(&spec);
     println!(
-        "run: {} on '{}' (seed {}, spec hash {:#018x})",
+        "run: {} on '{}' (seed {}, spec hash {:#018x}, {})",
         spec.optimizer.kind(),
         spec.problem.name,
         spec.seed,
-        spec.content_hash()
+        spec.content_hash(),
+        describe_executor(&executor)
     );
 
     // The CLI renders progress itself (through the channel observer), so
@@ -183,8 +215,16 @@ fn command_run(args: &[String]) -> Result<(), CliError> {
     // checkpoint hash, which is always taken from the original spec.
     let mut exec_spec = spec.clone();
     exec_spec.log_every = None;
-    let driver = spec_driver(&exec_spec, &problem);
+    let driver = spec_driver_with_executor(&exec_spec, &problem, executor);
     execute(driver, &spec, &store, &options)
+}
+
+fn describe_executor(executor: &Executor) -> String {
+    if executor.is_pooled() {
+        format!("{}-way persistent evaluation pool", executor.workers())
+    } else {
+        "serial evaluation".to_string()
+    }
 }
 
 fn command_resume(args: &[String]) -> Result<(), CliError> {
@@ -213,18 +253,21 @@ fn command_resume(args: &[String]) -> Result<(), CliError> {
         .or_else(|| options.target.parent().map(Path::to_path_buf))
         .unwrap_or_else(|| PathBuf::from("."));
     let store = CheckpointStore::create(&checkpoint_dir, &spec).map_err(CliError::failed)?;
+    let executor = options.executor(&spec);
     println!(
-        "resume: {} on '{}' from generation {} ({} evaluations so far)",
+        "resume: {} on '{}' from generation {} ({} evaluations so far, {})",
         spec.optimizer.kind(),
         spec.problem.name,
         stored.generation(),
-        stored.evaluations()
+        stored.evaluations(),
+        describe_executor(&executor)
     );
 
     let mut exec_spec = spec.clone();
     exec_spec.log_every = None;
-    let driver = resume_spec_driver(&exec_spec, &problem, stored.checkpoint)
-        .map_err(|err| CliError::failed(format!("cannot resume: {err}")))?;
+    let driver =
+        resume_spec_driver_with_executor(&exec_spec, &problem, stored.checkpoint, executor)
+            .map_err(|err| CliError::failed(format!("cannot resume: {err}")))?;
     execute(driver, &spec, &store, &options)
 }
 

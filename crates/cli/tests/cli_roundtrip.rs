@@ -113,6 +113,21 @@ fn kill_resume_roundtrip(backend: &str, tag: &str) {
     ]);
     assert_identical(&full_front, &periodic_front);
 
+    // `--threads` swaps the executor (one pool for the whole invocation)
+    // without touching the run state or the spec hash, so resuming the same
+    // checkpoint under an explicit pool is still byte-identical.
+    let pooled_front = dir.join("pooled.front");
+    run_ok(&[
+        "resume",
+        split_ckpt.join("gen-5.ckpt").to_str().unwrap(),
+        "--threads",
+        "2",
+        "--front-out",
+        pooled_front.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert_identical(&full_front, &pooled_front);
+
     std::fs::remove_dir_all(&dir).ok();
 }
 

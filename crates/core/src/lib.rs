@@ -37,6 +37,7 @@
 
 mod design;
 mod geobacter_problem;
+mod ode_leaf_problem;
 mod photosynthesis_problem;
 mod registry;
 mod report;
@@ -49,10 +50,11 @@ pub use design::{
     SelectedLeafDesigns,
 };
 pub use geobacter_problem::{GeobacterFluxProblem, GeobacterSolution};
+pub use ode_leaf_problem::OdeLeafRedesignProblem;
 pub use photosynthesis_problem::LeafRedesignProblem;
 pub use registry::{
-    resume_spec_driver, spec_driver, validate_spec_against_problem, AnyProblem, ProblemInfo,
-    PROBLEM_CATALOG,
+    resume_spec_driver, resume_spec_driver_with_executor, spec_driver, spec_driver_with_executor,
+    validate_spec_against_problem, AnyProblem, ProblemInfo, PROBLEM_CATALOG,
 };
 pub use report::{
     render_table, CoverageRow, Figure1Series, Figure2Bar, Figure4Point, SelectionRow,

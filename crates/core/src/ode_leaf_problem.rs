@@ -1,0 +1,374 @@
+//! The dynamic (ODE-backed) leaf-redesign problem with warm-started
+//! steady-state evaluation.
+//!
+//! [`crate::LeafRedesignProblem`] scores a design with the *analytic*
+//! uptake model; this module scores it with the full
+//! [`pathway_photosynthesis::CalvinCycleOde`] driven to steady state — the
+//! oracle the paper actually describes, and orders of magnitude more
+//! expensive. The batch-level amortization that makes it affordable inside
+//! an optimization loop: each candidate's integration is **warm-started**
+//! from the steady state of the nearest already-evaluated parent design, so
+//! consecutive generations (whose offspring cluster around their parents)
+//! pay for tracking the difference between designs instead of re-spooling
+//! the whole autocatalytic transient from the cold-start state every time.
+
+use std::cmp::Ordering;
+use std::sync::RwLock;
+
+use pathway_linalg::Vector;
+use pathway_moo::MultiObjectiveProblem;
+use pathway_photosynthesis::{EnzymePartition, OdeUptakeEvaluator, Scenario};
+
+/// The pool of parent steady states candidate evaluations warm-start from.
+///
+/// `committed` is the frozen pool every evaluation reads; `pending` collects
+/// the steady states of the batch currently being evaluated. The hand-over
+/// happens in [`MultiObjectiveProblem::prepare_batch`] — once per *whole*
+/// batch, before any chunk is evaluated — which is the linchpin of the
+/// determinism story (see the type-level docs below).
+#[derive(Debug, Default)]
+struct WarmStartPool {
+    committed: Vec<(Vec<f64>, Vector)>,
+    pending: Vec<(Vec<f64>, Vector)>,
+    /// Bumped by every commit. `evaluate_batch` snapshots it when a chunk
+    /// starts and re-checks it before recording results: a mismatch means a
+    /// *concurrent* `prepare_batch` (another optimizer sharing this
+    /// instance, e.g. a multi-island archipelago) swapped the pool
+    /// mid-batch — the batch's warm starts were scheduling-dependent, so
+    /// the run's determinism contract is already broken and we fail loudly
+    /// instead of silently diverging.
+    epoch: u64,
+}
+
+/// The leaf-redesign problem evaluated through the dynamic ODE model, with
+/// nearest-parent warm starts.
+///
+/// Objectives (both minimized): `-uptake` (net CO₂ uptake of the ODE steady
+/// state, µmol m⁻² s⁻¹) and `nitrogen` (total protein nitrogen, mg/l) — the
+/// same trade-off as [`crate::LeafRedesignProblem`], with the analytic
+/// steady state replaced by an integrated one.
+///
+/// # Warm starts and determinism
+///
+/// The warm-start pool holds the steady states of the **previous**
+/// generation's batch, committed in
+/// [`MultiObjectiveProblem::prepare_batch`] and frozen while the current
+/// batch is evaluated. Every candidate then picks its start state as a pure
+/// function of `(candidate, frozen pool)` — nearest parent by Euclidean
+/// distance in capacity space, ties broken by lexicographic comparison of
+/// the parent's capacities — so chunked, pooled evaluation is bit-identical
+/// to serial evaluation of the same batch, and the commit itself sorts the
+/// collected states by content, which makes the pool independent of the
+/// order worker threads finished in. `tests/determinism.rs` enforces both.
+///
+/// What the warm start is **not**: a pure function of the candidate alone.
+/// Results depend on the evaluation history of this problem *instance*, so
+/// two optimizers must share one instance (or both start fresh) to agree
+/// bit-for-bit, and a checkpoint resumed in a fresh process re-converges
+/// from a cold pool rather than reproducing the original trajectory
+/// bit-identically. That is why this problem is deliberately **not** in the
+/// spec registry of [`crate::PROBLEM_CATALOG`] — the `pathway` CLI promises
+/// bit-identical cross-process resume, which a process-local cache cannot
+/// honor. For the same reason, drive this problem with **NSGA-II**, whose
+/// whole offspring generation flows through one
+/// [`MultiObjectiveProblem::evaluate_batch`] call: a multi-island
+/// archipelago steps its islands on concurrent threads, whose interleaved
+/// `prepare_batch` commits against one shared pool would be
+/// scheduling-dependent — the problem detects a commit landing mid-batch
+/// and **panics** with a diagnostic rather than letting the run silently
+/// diverge. MOEA/D is *correct* but gains nothing: it evaluates its
+/// children one at a time through [`MultiObjectiveProblem::evaluate`],
+/// which reads the committed pool without ever refreshing it, so after the
+/// initial batch every candidate cold-starts.
+///
+/// # Example
+///
+/// ```no_run
+/// use pathway_core::OdeLeafRedesignProblem;
+/// use pathway_moo::{problems, MultiObjectiveProblem};
+/// use pathway_photosynthesis::Scenario;
+///
+/// let problem = OdeLeafRedesignProblem::new(Scenario::present_low_export());
+/// let natural = pathway_photosynthesis::EnzymePartition::natural();
+/// let objectives = problem.evaluate(natural.capacities());
+/// assert!(objectives[0] < 0.0); // positive uptake
+/// ```
+#[derive(Debug)]
+pub struct OdeLeafRedesignProblem {
+    scenario: Scenario,
+    evaluator: OdeUptakeEvaluator,
+    bounds: Vec<(f64, f64)>,
+    pool: RwLock<WarmStartPool>,
+}
+
+impl OdeLeafRedesignProblem {
+    /// Creates the problem for a scenario with the default search box
+    /// (0.02×–4× the natural capacities, matching
+    /// [`crate::LeafRedesignProblem`]) and the coarse
+    /// [`OdeUptakeEvaluator::fast`] integrator — the right trade-off inside
+    /// an optimization loop; use
+    /// [`OdeLeafRedesignProblem::with_evaluator`] for publication-grade
+    /// tolerances.
+    pub fn new(scenario: Scenario) -> Self {
+        OdeLeafRedesignProblem {
+            scenario,
+            evaluator: OdeUptakeEvaluator::fast(),
+            bounds: EnzymePartition::bounds(0.02, 4.0),
+            pool: RwLock::new(WarmStartPool::default()),
+        }
+    }
+
+    /// Overrides the steady-state evaluator (tolerances, horizon, step).
+    #[must_use]
+    pub fn with_evaluator(mut self, evaluator: OdeUptakeEvaluator) -> Self {
+        self.evaluator = evaluator;
+        self
+    }
+
+    /// Overrides the search box as multiples of the natural capacities.
+    #[must_use]
+    pub fn with_bounds(mut self, lower_factor: f64, upper_factor: f64) -> Self {
+        self.bounds = EnzymePartition::bounds(lower_factor, upper_factor);
+        self
+    }
+
+    /// The scenario being optimized.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Number of parent steady states currently committed for warm starts.
+    pub fn warm_start_pool_size(&self) -> usize {
+        self.pool
+            .read()
+            .expect("warm-start pool lock poisoned")
+            .committed
+            .len()
+    }
+
+    /// The nearest committed parent's steady state, or `None` for a cold
+    /// pool. Deterministic for a given pool *set*: squared Euclidean
+    /// distance in capacity space, ties broken towards the lexicographically
+    /// smallest parent capacities.
+    fn warm_start(&self, x: &[f64]) -> Option<Vector> {
+        let pool = self.pool.read().expect("warm-start pool lock poisoned");
+        let mut best: Option<(&Vec<f64>, &Vector, f64)> = None;
+        for (capacities, state) in &pool.committed {
+            let distance: f64 = capacities
+                .iter()
+                .zip(x)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            let better = match &best {
+                None => true,
+                Some((incumbent, _, incumbent_distance)) => {
+                    match distance.total_cmp(incumbent_distance) {
+                        Ordering::Less => true,
+                        Ordering::Greater => false,
+                        Ordering::Equal => lex_cmp(capacities, incumbent) == Ordering::Less,
+                    }
+                }
+            };
+            if better {
+                best = Some((capacities, state, distance));
+            }
+        }
+        best.map(|(_, state, _)| state.clone())
+    }
+
+    /// Evaluates one candidate against the frozen pool: objectives plus the
+    /// settled steady state (`None` when the integration failed to settle —
+    /// such candidates score zero uptake and never enter the pool).
+    fn evaluate_one(&self, x: &[f64]) -> (Vec<f64>, Option<Vector>) {
+        let partition = EnzymePartition::new(x.to_vec());
+        let nitrogen = partition.total_nitrogen();
+        let solved = match self.warm_start(x) {
+            Some(y0) => self
+                .evaluator
+                .steady_state_from(&partition, &self.scenario, y0),
+            None => self.evaluator.steady_state(&partition, &self.scenario),
+        };
+        match solved {
+            Ok((steady, uptake)) => (vec![-uptake, nitrogen], Some(steady.state)),
+            // A pathway that never settles fixes no carbon worth reporting;
+            // score it as zero uptake instead of poisoning the front with
+            // non-finite objectives.
+            Err(_) => (vec![0.0, nitrogen], None),
+        }
+    }
+}
+
+/// Lexicographic total order on capacity vectors (shorter is smaller on a
+/// shared prefix). Used only for deterministic tie-breaks and pool sorting.
+fn lex_cmp(a: &[f64], b: &[f64]) -> Ordering {
+    for (x, y) in a.iter().zip(b) {
+        match x.total_cmp(y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+impl MultiObjectiveProblem for OdeLeafRedesignProblem {
+    fn num_variables(&self) -> usize {
+        pathway_photosynthesis::ENZYME_COUNT
+    }
+
+    fn num_objectives(&self) -> usize {
+        2
+    }
+
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        self.bounds.clone()
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        self.evaluate_one(x).0
+    }
+
+    /// Evaluates the batch against the frozen parent pool and collects the
+    /// settled steady states as `pending` parents for the *next* batch.
+    /// Chunk-safe: reads only frozen state, and the unordered `pending`
+    /// appends are normalized (sorted by content) at the next
+    /// [`MultiObjectiveProblem::prepare_batch`].
+    fn evaluate_batch(&self, xs: &[Vec<f64>]) -> Vec<(Vec<f64>, f64)> {
+        let epoch = self
+            .pool
+            .read()
+            .expect("warm-start pool lock poisoned")
+            .epoch;
+        let mut results = Vec::with_capacity(xs.len());
+        let mut settled: Vec<(Vec<f64>, Vector)> = Vec::with_capacity(xs.len());
+        for x in xs {
+            let (objectives, steady) = self.evaluate_one(x);
+            if let Some(state) = steady {
+                settled.push((x.clone(), state));
+            }
+            results.push((objectives, 0.0));
+        }
+        let mut pool = self.pool.write().expect("warm-start pool lock poisoned");
+        assert_eq!(
+            pool.epoch, epoch,
+            "OdeLeafRedesignProblem: prepare_batch committed while a batch was still \
+             evaluating — this problem instance is being driven by concurrent optimizers \
+             (e.g. a multi-island archipelago), which makes warm starts scheduling-dependent; \
+             drive it with a single-population optimizer or give each optimizer its own instance"
+        );
+        pool.pending.extend(settled);
+        results
+    }
+
+    /// Commits the previous batch's steady states as the new parent pool.
+    /// Runs once per whole batch (before any chunk), so every chunk of the
+    /// incoming batch sees the same frozen pool; the sort makes the pool a
+    /// pure function of the *set* of settled parents, independent of worker
+    /// scheduling.
+    fn prepare_batch(&self, _xs: &[Vec<f64>]) {
+        let mut pool = self.pool.write().expect("warm-start pool lock poisoned");
+        // Every prepare bumps the epoch — even a no-op commit — so that a
+        // *second* driver's prepare interleaving with a batch in flight
+        // trips the guard in `evaluate_batch` from the very first
+        // generation, not only once the pool is non-empty.
+        pool.epoch += 1;
+        if pool.pending.is_empty() {
+            return;
+        }
+        let mut parents = std::mem::take(&mut pool.pending);
+        parents.sort_by(|a, b| lex_cmp(&a.0, &b.0));
+        parents.dedup_by(|a, b| a.0 == b.0);
+        pool.committed = parents;
+    }
+
+    fn name(&self) -> &str {
+        "leaf-design-ode"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathway_moo::exec::Executor;
+    use pathway_moo::EvalBackend;
+
+    fn small_batch() -> Vec<Vec<f64>> {
+        // All three designs settle under the fast integrator (down-scaled
+        // partitions relax too slowly for its 800 s horizon).
+        let natural = EnzymePartition::natural();
+        vec![
+            natural.capacities().to_vec(),
+            natural.scaled(1.1).capacities().to_vec(),
+            natural.scaled(1.3).capacities().to_vec(),
+        ]
+    }
+
+    #[test]
+    fn batched_evaluation_matches_the_per_candidate_path_bit_for_bit() {
+        let batched = OdeLeafRedesignProblem::new(Scenario::present_low_export());
+        let itemwise = OdeLeafRedesignProblem::new(Scenario::present_low_export());
+        let xs = small_batch();
+        let batch = batched.evaluate_batch(&xs);
+        for (x, (objectives, violation)) in xs.iter().zip(&batch) {
+            assert_eq!(objectives, &itemwise.evaluate(x));
+            assert_eq!(*violation, 0.0);
+        }
+    }
+
+    #[test]
+    fn prepare_commits_parents_and_freezes_them_for_the_next_batch() {
+        let problem = OdeLeafRedesignProblem::new(Scenario::present_low_export());
+        let xs = small_batch();
+        assert_eq!(problem.warm_start_pool_size(), 0);
+        problem.prepare_batch(&xs);
+        let first = problem.evaluate_batch(&xs);
+        assert_eq!(
+            problem.warm_start_pool_size(),
+            0,
+            "pending is not committed yet"
+        );
+        problem.prepare_batch(&xs);
+        assert_eq!(problem.warm_start_pool_size(), xs.len());
+        // Identical designs warm-started from their own steady states still
+        // produce finite, sensible objectives.
+        let second = problem.evaluate_batch(&xs);
+        for ((first_obj, _), (second_obj, _)) in first.iter().zip(&second) {
+            assert!(first_obj[0] < 0.0 && second_obj[0] < 0.0, "positive uptake");
+            assert_eq!(first_obj[1], second_obj[1], "nitrogen is exact");
+        }
+    }
+
+    #[test]
+    fn warm_started_generations_are_identical_under_serial_and_pooled_executors() {
+        let serial_problem = OdeLeafRedesignProblem::new(Scenario::present_low_export());
+        let pooled_problem = OdeLeafRedesignProblem::new(Scenario::present_low_export());
+        let serial = Executor::serial();
+        let pooled = Executor::new(EvalBackend::Threads(2));
+        let xs = small_batch();
+        for generation in 0..3 {
+            let a = serial.evaluate_batch(&serial_problem, &xs);
+            let b = pooled.evaluate_batch(&pooled_problem, &xs);
+            assert_eq!(a, b, "generation {generation} diverged");
+        }
+        assert_eq!(
+            serial_problem.warm_start_pool_size(),
+            pooled_problem.warm_start_pool_size()
+        );
+    }
+
+    #[test]
+    fn dimensions_and_name() {
+        let problem = OdeLeafRedesignProblem::new(Scenario::present_low_export());
+        assert_eq!(problem.num_variables(), 23);
+        assert_eq!(problem.num_objectives(), 2);
+        assert_eq!(problem.bounds().len(), 23);
+        assert_eq!(problem.name(), "leaf-design-ode");
+    }
+
+    #[test]
+    fn lex_cmp_is_a_total_order_with_length_tiebreak() {
+        assert_eq!(lex_cmp(&[1.0, 2.0], &[1.0, 3.0]), Ordering::Less);
+        assert_eq!(lex_cmp(&[2.0], &[1.0, 9.0]), Ordering::Greater);
+        assert_eq!(lex_cmp(&[1.0], &[1.0, 0.0]), Ordering::Less);
+        assert_eq!(lex_cmp(&[1.0, 2.0], &[1.0, 2.0]), Ordering::Equal);
+    }
+}

@@ -8,23 +8,24 @@
 //! ```
 
 pub use crate::{
-    resume_spec_driver, spec_driver, validate_spec_against_problem, AnyProblem,
-    GeobacterFluxProblem, GeobacterOutcome, GeobacterSolution, GeobacterStudy, LeafDesign,
-    LeafDesignOutcome, LeafDesignStudy, LeafRedesignProblem, ProblemInfo, SelectedLeafDesigns,
-    Study, StudyOutcome, PROBLEM_CATALOG,
+    resume_spec_driver, resume_spec_driver_with_executor, spec_driver, spec_driver_with_executor,
+    validate_spec_against_problem, AnyProblem, GeobacterFluxProblem, GeobacterOutcome,
+    GeobacterSolution, GeobacterStudy, LeafDesign, LeafDesignOutcome, LeafDesignStudy,
+    LeafRedesignProblem, OdeLeafRedesignProblem, ProblemInfo, SelectedLeafDesigns, Study,
+    StudyOutcome, PROBLEM_CATALOG,
 };
 
 pub use pathway_fba::geobacter::GeobacterModel;
 pub use pathway_fba::{FluxBalanceAnalysis, MetabolicModel};
 pub use pathway_moo::engine::{
-    AnyOptimizer, ChannelObserver, CheckpointError, CheckpointStore, Driver, EngineError,
-    GenerationReport, HistoryObserver, LogObserver, NullObserver, Observer, Optimizer,
+    AnyOptimizer, ChannelObserver, CheckpointError, CheckpointRetention, CheckpointStore, Driver,
+    EngineError, GenerationReport, HistoryObserver, LogObserver, NullObserver, Observer, Optimizer,
     OptimizerSpec, OptimizerState, ProblemSpec, RunCheckpoint, RunSpec, SpecError, StoppingRule,
     StoppingSpec, StoredCheckpoint,
 };
 pub use pathway_moo::{
-    Archipelago, ArchipelagoConfig, EvalBackend, Individual, MigrationTopology, Moead, MoeadConfig,
-    MultiObjectiveProblem, Nsga2, Nsga2Config, Pmo2,
+    Archipelago, ArchipelagoConfig, EvalBackend, Executor, Individual, MigrationTopology, Moead,
+    MoeadConfig, MultiObjectiveProblem, Nsga2, Nsga2Config, Pmo2,
 };
 pub use pathway_photosynthesis::{
     CarbonDioxideEra, EnzymeKind, EnzymePartition, Scenario, TriosePhosphateExport, UptakeModel,

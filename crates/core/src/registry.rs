@@ -25,10 +25,13 @@
 //! assert!(!front.is_empty());
 //! ```
 
+use std::sync::Arc;
+
 use pathway_fba::geobacter::GeobacterModel;
 use pathway_moo::engine::{
     AnyOptimizer, Driver, EngineError, LogObserver, ProblemSpec, RunCheckpoint, RunSpec, SpecError,
 };
+use pathway_moo::exec::Executor;
 use pathway_moo::problems::{BinhKorn, Dtlz2, Schaffer, Zdt1, Zdt2};
 use pathway_moo::MultiObjectiveProblem;
 use pathway_photosynthesis::{CarbonDioxideEra, Scenario, TriosePhosphateExport};
@@ -268,6 +271,9 @@ impl MultiObjectiveProblem for AnyProblem {
     fn evaluate_batch(&self, xs: &[Vec<f64>]) -> Vec<(Vec<f64>, f64)> {
         self.inner().evaluate_batch(xs)
     }
+    fn prepare_batch(&self, xs: &[Vec<f64>]) {
+        self.inner().prepare_batch(xs);
+    }
     fn constraint_violation(&self, x: &[f64]) -> f64 {
         self.inner().constraint_violation(x)
     }
@@ -315,8 +321,33 @@ pub fn spec_driver<'p>(
     spec: &RunSpec,
     problem: &'p AnyProblem,
 ) -> Driver<'p, AnyProblem, AnyOptimizer> {
-    let mut driver =
-        Driver::new(spec.build_optimizer(), problem).with_stopping(spec.stopping_rule());
+    assemble_driver(spec, problem, spec.build_optimizer())
+}
+
+/// Like [`spec_driver`], with an explicit evaluation [`Executor`] installed
+/// on the optimizer before the driver takes it over.
+///
+/// This is how a launcher runs a whole invocation on **one** persistent
+/// worker pool: build the executor once (the `pathway` CLI derives it from
+/// `--threads`, falling back to the spec's backend) and hand it to every
+/// driver it creates — fresh runs and resumes alike. Executors never change
+/// results, only where batches are evaluated.
+pub fn spec_driver_with_executor<'p>(
+    spec: &RunSpec,
+    problem: &'p AnyProblem,
+    executor: Arc<Executor>,
+) -> Driver<'p, AnyProblem, AnyOptimizer> {
+    let mut optimizer = spec.build_optimizer();
+    optimizer.set_executor(executor);
+    assemble_driver(spec, problem, optimizer)
+}
+
+fn assemble_driver<'p>(
+    spec: &RunSpec,
+    problem: &'p AnyProblem,
+    optimizer: AnyOptimizer,
+) -> Driver<'p, AnyProblem, AnyOptimizer> {
+    let mut driver = Driver::new(optimizer, problem).with_stopping(spec.stopping_rule());
     if let Some(reference) = &spec.reference_point {
         driver = driver.with_reference_point(reference.clone());
     }
@@ -346,9 +377,40 @@ pub fn resume_spec_driver<'p>(
     problem: &'p AnyProblem,
     checkpoint: RunCheckpoint,
 ) -> Result<Driver<'p, AnyProblem, AnyOptimizer>, EngineError> {
+    resume_driver_inner(spec, problem, checkpoint, None)
+}
+
+/// Like [`resume_spec_driver`], with an explicit evaluation [`Executor`]
+/// installed on the optimizer before the checkpoint is restored into it.
+/// Executors are configuration, not run state: resuming under a different
+/// executor (or worker count) than the checkpointing run preserves
+/// bit-identical results, only the wall-clock changes.
+///
+/// # Errors
+///
+/// Same as [`resume_spec_driver`].
+pub fn resume_spec_driver_with_executor<'p>(
+    spec: &RunSpec,
+    problem: &'p AnyProblem,
+    checkpoint: RunCheckpoint,
+    executor: Arc<Executor>,
+) -> Result<Driver<'p, AnyProblem, AnyOptimizer>, EngineError> {
+    resume_driver_inner(spec, problem, checkpoint, Some(executor))
+}
+
+fn resume_driver_inner<'p>(
+    spec: &RunSpec,
+    problem: &'p AnyProblem,
+    checkpoint: RunCheckpoint,
+    executor: Option<Arc<Executor>>,
+) -> Result<Driver<'p, AnyProblem, AnyOptimizer>, EngineError> {
     let missing_reference = checkpoint.reference_point.is_none();
-    let mut driver = Driver::resume(spec.build_optimizer(), problem, checkpoint)?
-        .with_stopping(spec.stopping_rule());
+    let mut optimizer = spec.build_optimizer();
+    if let Some(executor) = executor {
+        optimizer.set_executor(executor);
+    }
+    let mut driver =
+        Driver::resume(optimizer, problem, checkpoint)?.with_stopping(spec.stopping_rule());
     if missing_reference {
         if let Some(reference) = &spec.reference_point {
             driver = driver.with_reference_point(reference.clone());

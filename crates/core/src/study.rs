@@ -9,7 +9,10 @@
 //! checkpoint/resume compose with every problem without touching algorithm
 //! internals.
 
+use std::sync::Arc;
+
 use pathway_moo::engine::{Driver, OptimizerSpec, RunSpec, SpecError, StoppingRule};
+use pathway_moo::exec::Executor;
 use pathway_moo::{
     Archipelago, ArchipelagoConfig, EvalBackend, Individual, MigrationTopology,
     MultiObjectiveProblem, Nsga2Config,
@@ -79,6 +82,7 @@ pub struct Study<P> {
     topology: MigrationTopology,
     extra_stopping: Option<StoppingRule>,
     reference_point: Option<Vec<f64>>,
+    executor: Option<Arc<Executor>>,
 }
 
 impl<P: MultiObjectiveProblem> Study<P> {
@@ -98,6 +102,7 @@ impl<P: MultiObjectiveProblem> Study<P> {
             topology: MigrationTopology::Broadcast,
             extra_stopping: None,
             reference_point: None,
+            executor: None,
         }
     }
 
@@ -135,9 +140,21 @@ impl<P: MultiObjectiveProblem> Study<P> {
 
     /// Overrides the evaluation backend each island uses for its offspring
     /// batches. Results are bit-identical across backends for a fixed seed.
+    /// The archipelago builds **one** persistent executor from this backend
+    /// and shares it across every island for the lifetime of the run.
     #[must_use]
     pub fn with_backend(mut self, backend: EvalBackend) -> Self {
         self.island.backend = backend;
+        self
+    }
+
+    /// Shares an existing evaluation [`Executor`] with every optimizer this
+    /// study builds, instead of letting each build its own from the backend
+    /// configuration. Useful when several studies (e.g. a parameter sweep)
+    /// should share one worker pool. Executors never change results.
+    #[must_use]
+    pub fn with_executor(mut self, executor: Arc<Executor>) -> Self {
+        self.executor = Some(executor);
         self
     }
 
@@ -194,9 +211,14 @@ impl<P: MultiObjectiveProblem> Study<P> {
         }
     }
 
-    /// A fresh archipelago for this study, seeded deterministically.
+    /// A fresh archipelago for this study, seeded deterministically (with
+    /// the study's shared executor installed, when one was configured).
     pub fn optimizer(&self, seed: u64) -> Archipelago {
-        Archipelago::new(self.archipelago_config(), seed)
+        let mut archipelago = Archipelago::new(self.archipelago_config(), seed);
+        if let Some(executor) = &self.executor {
+            archipelago.set_executor(Arc::clone(executor));
+        }
+        archipelago
     }
 
     /// A [`Driver`] over a fresh archipelago, with the study's generation
@@ -345,6 +367,15 @@ mod tests {
         let checkpoint = driver.checkpoint();
         assert_eq!(checkpoint.generation, 1);
         assert_eq!(history.reports().len(), 1);
+    }
+
+    #[test]
+    fn shared_executor_changes_nothing_but_the_pool() {
+        let plain = schaffer_study().with_backend(EvalBackend::Serial).run(7);
+        let pool = Executor::shared(EvalBackend::Threads(2));
+        let pooled = schaffer_study().with_executor(pool).run(7);
+        assert_eq!(plain.front, pooled.front);
+        assert_eq!(plain.evaluations, pooled.evaluations);
     }
 
     #[test]

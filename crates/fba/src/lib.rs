@@ -44,4 +44,6 @@ pub use error::FbaError;
 pub use fba::{FbaSolution, FluxBalanceAnalysis, FluxVariability};
 pub use model::{MetabolicModel, MetabolicModelBuilder, Metabolite, Reaction};
 pub use perturb::{FluxPerturbation, FluxRepair};
-pub use violation::{steady_state_violation, violation_norm, ViolationPenalty};
+pub use violation::{
+    steady_state_violation, steady_state_violation_batch, violation_norm, ViolationPenalty,
+};

@@ -113,6 +113,16 @@ impl Matrix {
         &self.data[row * self.cols..(row + 1) * self.cols]
     }
 
+    /// Mutable borrow of a single row as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn row_mut(&mut self, row: usize) -> &mut [f64] {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
     /// Copies a column into a new [`Vector`].
     ///
     /// # Panics

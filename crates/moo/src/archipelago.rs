@@ -1,8 +1,11 @@
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::engine::{ArchipelagoState, EngineError, Optimizer, OptimizerState, RngState};
-use crate::{Individual, MultiObjectiveProblem, Nsga2, Nsga2Config, ParetoArchive};
+use crate::exec::Executor;
+use crate::{EvalBackend, Individual, MultiObjectiveProblem, Nsga2, Nsga2Config, ParetoArchive};
 
 /// Topology describing which islands exchange migrants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -98,6 +101,12 @@ pub struct Archipelago {
     archives: Vec<ParetoArchive>,
     migration_rng: StdRng,
     generations_done: usize,
+    /// One executor shared by every island, lazily built from
+    /// `island_config.backend` (or injected via
+    /// [`Archipelago::set_executor`]): the islands' offspring batches all
+    /// feed the same worker pool instead of spawning one pool per island.
+    /// Configuration, not run state — never checkpointed.
+    executor: Option<Arc<Executor>>,
 }
 
 /// Alias emphasising that the archipelago with its default configuration *is*
@@ -138,12 +147,50 @@ impl Archipelago {
                 .collect(),
             migration_rng: StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9)),
             generations_done: 0,
+            executor: None,
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &ArchipelagoConfig {
         &self.config
+    }
+
+    /// Installs a (usually shared) evaluation executor on the archipelago
+    /// and every island, replacing the pool that would otherwise be built
+    /// lazily from `island_config.backend`. The `pathway` CLI uses this to
+    /// run a whole invocation — run or resume — on one pool. Executors only
+    /// change where batches are evaluated, never their results.
+    pub fn set_executor(&mut self, executor: Arc<Executor>) {
+        for island in &mut self.islands {
+            island.set_executor(Arc::clone(&executor));
+        }
+        self.executor = Some(executor);
+    }
+
+    /// Ensures every island evaluates on one shared executor, building it
+    /// from the island backend configuration on first need. Idempotent and
+    /// cheap once installed.
+    ///
+    /// The lazily-built pool is sized for the archipelago's *total*
+    /// evaluation parallelism — `islands × n` lanes for a `Threads(n)`
+    /// island backend — because all islands step concurrently and feed the
+    /// same pool; sizing it for a single island would serialize the
+    /// islands' chunks behind `n` lanes and lose the coarse × fine
+    /// parallelism the per-island configuration promises. (An explicitly
+    /// injected executor is used as-is: its owner chose the width.)
+    fn ensure_executor(&mut self) {
+        if self.executor.is_some() {
+            return;
+        }
+        let backend = match self.config.island_config.backend {
+            EvalBackend::Threads(n) if n >= 2 => {
+                EvalBackend::Threads(n.saturating_mul(self.config.islands.max(1)))
+            }
+            other => other,
+        };
+        let shared = Executor::shared(backend);
+        self.set_executor(shared);
     }
 
     /// The seed this archipelago (and its islands) were derived from.
@@ -169,6 +216,7 @@ impl Archipelago {
     /// Initializes every island's population if that has not happened yet.
     /// Idempotent.
     pub fn initialize<P: MultiObjectiveProblem>(&mut self, problem: &P) {
+        self.ensure_executor();
         if self
             .islands
             .iter()

@@ -64,7 +64,7 @@ pub use state::{ArchipelagoState, EngineError, MoeadState, Nsga2State, Optimizer
 pub use stopping::{RunStatus, StoppingRule};
 pub use store::{
     decode_checkpoint, encode_checkpoint, read_checkpoint_file, write_checkpoint_file,
-    CheckpointError, CheckpointStore, StoredCheckpoint,
+    CheckpointError, CheckpointRetention, CheckpointStore, StoredCheckpoint,
 };
 
 use crate::{Individual, MultiObjectiveProblem};

@@ -53,8 +53,11 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
+use crate::engine::store::CheckpointRetention;
 use crate::engine::{EngineError, Optimizer, OptimizerState, StoppingRule};
+use crate::exec::Executor;
 use crate::{
     Archipelago, ArchipelagoConfig, EvalBackend, Individual, MigrationTopology, Moead, MoeadConfig,
     MultiObjectiveProblem, Nsga2, Nsga2Config,
@@ -335,6 +338,17 @@ impl OptimizerSpec {
         }
     }
 
+    /// The evaluation backend this optimizer description carries (for the
+    /// archipelago: the per-island backend). Spec-driven launchers use this
+    /// to build one [`Executor`] for a whole run.
+    pub fn backend(&self) -> EvalBackend {
+        match self {
+            OptimizerSpec::Nsga2(spec) => spec.backend,
+            OptimizerSpec::Moead(spec) => spec.backend,
+            OptimizerSpec::Archipelago(spec) => spec.island.backend,
+        }
+    }
+
     /// Builds a fresh optimizer from this description.
     ///
     /// `generations` fills the config's (engine-ignored, but kept coherent)
@@ -410,6 +424,10 @@ pub struct RunSpec {
     /// Write a durable checkpoint every this many generations; `0` means
     /// only at the end of the run. Consumed by the `pathway` CLI.
     pub checkpoint_every: usize,
+    /// Which checkpoints to keep on disk (`checkpoint_keep_last` /
+    /// `checkpoint_keep_every` in text form); `None` keeps all of them.
+    /// Consumed by [`crate::engine::CheckpointStore`].
+    pub retention: Option<CheckpointRetention>,
     /// Fixed hypervolume reference point; `None` derives one from the first
     /// generation's front.
     pub reference_point: Option<Vec<f64>>,
@@ -508,6 +526,9 @@ impl RunSpec {
                 ));
             }
         }
+        if let Some(retention) = &self.retention {
+            validate_count("run.checkpoint_keep_last", retention.keep_last)?;
+        }
         if let Some(every) = self.log_every {
             validate_count("observe.log_every", every)?;
         }
@@ -565,6 +586,20 @@ impl RunSpec {
             "checkpoint_every",
             &self.checkpoint_every.to_string(),
         );
+        if let Some(retention) = &self.retention {
+            push_kv(
+                &mut out,
+                "checkpoint_keep_last",
+                &retention.keep_last.to_string(),
+            );
+            if retention.keep_every > 0 {
+                push_kv(
+                    &mut out,
+                    "checkpoint_keep_every",
+                    &retention.keep_every.to_string(),
+                );
+            }
+        }
         if let Some(reference) = &self.reference_point {
             let joined = reference
                 .iter()
@@ -975,6 +1010,7 @@ fn interpret(document: &Document) -> Result<RunSpec, SpecError> {
     // [run]
     let mut seed = 0u64;
     let mut checkpoint_every = 0usize;
+    let mut retention = None;
     let mut reference_point = None;
     if let Some(entries) = document.section("run") {
         let mut section = Section::new("run", entries);
@@ -984,6 +1020,22 @@ fn interpret(document: &Document) -> Result<RunSpec, SpecError> {
         if let Some(v) = section.take_parsed("checkpoint_every")? {
             checkpoint_every = v;
         }
+        let keep_last: Option<usize> = section.take_parsed("checkpoint_keep_last")?;
+        let keep_every_line = section.take("checkpoint_keep_every").map(|e| e.line);
+        let keep_every: Option<usize> = section.take_parsed("checkpoint_keep_every")?;
+        retention = match (keep_last, keep_every) {
+            (Some(keep_last), keep_every) => Some(CheckpointRetention {
+                keep_last,
+                keep_every: keep_every.unwrap_or(0),
+            }),
+            (None, None) => None,
+            (None, Some(_)) => {
+                return Err(SpecError::parse(
+                    keep_every_line.expect("the key was just taken"),
+                    "checkpoint_keep_every requires checkpoint_keep_last",
+                ))
+            }
+        };
         if let Some(entry) = section.take("reference_point") {
             let mut values = Vec::new();
             for part in entry.value.split(',') {
@@ -1036,6 +1088,7 @@ fn interpret(document: &Document) -> Result<RunSpec, SpecError> {
         optimizer,
         seed,
         checkpoint_every,
+        retention,
         reference_point,
         stopping,
         log_every,
@@ -1133,6 +1186,20 @@ impl AnyOptimizer {
             AnyOptimizer::Archipelago(inner) => inner.evaluations(),
         }
     }
+
+    /// Installs a (usually shared) evaluation [`Executor`] on the wrapped
+    /// optimizer — for the archipelago, on every island. Spec-driven
+    /// launchers (the `pathway` CLI) use this to run a whole invocation,
+    /// resume included, on one persistent worker pool instead of letting
+    /// each optimizer build its own. Executors never change results, only
+    /// where batches are evaluated.
+    pub fn set_executor(&mut self, executor: Arc<Executor>) {
+        match self {
+            AnyOptimizer::Nsga2(inner) => inner.set_executor(executor),
+            AnyOptimizer::Moead(inner) => inner.set_executor(executor),
+            AnyOptimizer::Archipelago(inner) => inner.set_executor(executor),
+        }
+    }
 }
 
 impl<P: MultiObjectiveProblem> Optimizer<P> for AnyOptimizer {
@@ -1214,6 +1281,10 @@ mod tests {
             }),
             seed: 42,
             checkpoint_every: 5,
+            retention: Some(CheckpointRetention {
+                keep_last: 3,
+                keep_every: 10,
+            }),
             reference_point: Some(vec![1.1, 1.1]),
             stopping: StoppingSpec {
                 max_generations: 30,
@@ -1332,6 +1403,43 @@ mod tests {
         spec.problem = ProblemSpec::named("zdt1").with_param("name", "zdt2");
         let err = spec.validate().unwrap_err();
         assert!(err.to_string().contains("reserved"), "{err}");
+    }
+
+    #[test]
+    fn retention_keys_parse_validate_and_round_trip() {
+        // keep_every without keep_last is a parse error.
+        let text = format!(
+            "{SPEC_HEADER}\n[problem]\nname = schaffer\n[optimizer]\nkind = nsga2\n[run]\ncheckpoint_keep_every = 10\n"
+        );
+        match RunSpec::from_text(&text) {
+            Err(SpecError::Parse { line, message }) => {
+                assert!(message.contains("checkpoint_keep_last"), "{message}");
+                assert_eq!(line, 7, "the error must point at the offending key");
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+        // keep_last alone round-trips with keep_every defaulting to 0.
+        let text = format!(
+            "{SPEC_HEADER}\n[problem]\nname = schaffer\n[optimizer]\nkind = nsga2\n[run]\ncheckpoint_keep_last = 5\n"
+        );
+        let spec = RunSpec::from_text(&text).expect("keep_last alone is valid");
+        assert_eq!(
+            spec.retention,
+            Some(CheckpointRetention {
+                keep_last: 5,
+                keep_every: 0
+            })
+        );
+        assert_eq!(RunSpec::from_text(&spec.to_text()).unwrap(), spec);
+        // keep_last must be at least 1: the newest checkpoint is what
+        // resume needs.
+        let mut spec = sample_spec();
+        spec.retention = Some(CheckpointRetention {
+            keep_last: 0,
+            keep_every: 10,
+        });
+        let err = spec.validate().unwrap_err();
+        assert!(err.to_string().contains("checkpoint_keep_last"), "{err}");
     }
 
     #[test]

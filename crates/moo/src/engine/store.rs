@@ -288,12 +288,43 @@ pub fn read_checkpoint_file(path: &Path) -> Result<StoredCheckpoint, CheckpointE
     decode_checkpoint(&bytes)
 }
 
+/// Which `gen-<n>.ckpt` files a [`CheckpointStore`] keeps on disk.
+///
+/// A long run with a tight checkpoint cadence writes thousands of files the
+/// run will never resume from; a retention policy bounds that. After every
+/// save the store deletes any checkpoint that is neither among the newest
+/// `keep_last` generations nor (when `keep_every > 0`) at a generation
+/// divisible by `keep_every`. The default store keeps everything — retention
+/// is strictly opt-in (via [`CheckpointStore::with_retention`] or the
+/// `checkpoint_keep_last` / `checkpoint_keep_every` keys of a run spec's
+/// `[run]` section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointRetention {
+    /// Always keep the newest `keep_last` checkpoints (at least 1 — the
+    /// latest checkpoint is what `resume` needs and is never deleted).
+    pub keep_last: usize,
+    /// Additionally keep every checkpoint whose generation is a multiple of
+    /// this; `0` disables the modular keeps.
+    pub keep_every: usize,
+}
+
+impl CheckpointRetention {
+    /// `true` when a checkpoint at `generation`, currently the
+    /// `newest_rank`-th newest on disk (0 = newest), survives this policy.
+    pub fn keeps(&self, generation: usize, newest_rank: usize) -> bool {
+        newest_rank < self.keep_last.max(1)
+            || (self.keep_every > 0 && generation.is_multiple_of(self.keep_every))
+    }
+}
+
 /// A directory of checkpoints for one run.
 ///
 /// The store remembers the run's canonical spec text, names files by
 /// generation (`gen-<n>.ckpt`) and writes them atomically, so a `pathway
 /// resume` (or any other process) can pick up [`CheckpointStore::latest`] at
-/// any time — including while the run is still writing.
+/// any time — including while the run is still writing. An optional
+/// [`CheckpointRetention`] policy prunes old generations after each save;
+/// without one (the default) every checkpoint is kept.
 ///
 /// # Example
 ///
@@ -310,11 +341,14 @@ pub fn read_checkpoint_file(path: &Path) -> Result<StoredCheckpoint, CheckpointE
 pub struct CheckpointStore {
     dir: PathBuf,
     spec_text: String,
+    retention: Option<CheckpointRetention>,
 }
 
 impl CheckpointStore {
     /// Creates the store directory (and parents) if needed and binds it to
-    /// `spec`'s canonical text.
+    /// `spec`'s canonical text. Retention follows the spec: a
+    /// `checkpoint_keep_last` in the spec's `[run]` section is installed
+    /// automatically, otherwise every checkpoint is kept.
     ///
     /// # Errors
     ///
@@ -325,7 +359,20 @@ impl CheckpointStore {
         Ok(CheckpointStore {
             dir,
             spec_text: spec.to_text(),
+            retention: spec.retention,
         })
+    }
+
+    /// Overrides the retention policy (`None` keeps every checkpoint).
+    #[must_use]
+    pub fn with_retention(mut self, retention: Option<CheckpointRetention>) -> Self {
+        self.retention = retention;
+        self
+    }
+
+    /// The active retention policy, if any.
+    pub fn retention(&self) -> Option<CheckpointRetention> {
+        self.retention
     }
 
     /// The directory checkpoints are written into.
@@ -333,18 +380,66 @@ impl CheckpointStore {
         &self.dir
     }
 
-    /// Atomically writes `checkpoint` as `gen-<generation>.ckpt` and returns
-    /// the path.
+    /// Atomically writes `checkpoint` as `gen-<generation>.ckpt`, applies
+    /// the retention policy, and returns the path.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem failures.
+    /// Propagates filesystem failures. The new checkpoint is durable before
+    /// any pruning starts, so a prune failure never loses the save.
     pub fn save(&self, checkpoint: &RunCheckpoint) -> Result<PathBuf, CheckpointError> {
         let path = self
             .dir
             .join(format!("gen-{}.{EXTENSION}", checkpoint.generation));
         write_checkpoint_file(&path, &self.spec_text, checkpoint)?;
+        // The file just written is exempt from its own prune: a directory
+        // holding stale *higher* generations (a resume extended past an old
+        // run's leftovers) must not swallow the checkpoint this save
+        // produced.
+        self.prune_keeping(Some(checkpoint.generation))?;
         Ok(path)
+    }
+
+    /// Deletes every checkpoint the retention policy does not keep. No-op
+    /// without a policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read and file-removal failures.
+    pub fn prune(&self) -> Result<(), CheckpointError> {
+        self.prune_keeping(None)
+    }
+
+    fn prune_keeping(&self, exempt: Option<usize>) -> Result<(), CheckpointError> {
+        let Some(retention) = self.retention else {
+            return Ok(());
+        };
+        let mut stored: Vec<(usize, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if let Some(generation) = Self::generation_of(&path) {
+                stored.push((generation, path));
+            }
+        }
+        // Newest first, so the index is the "newest rank" the policy reads.
+        stored.sort_by_key(|(generation, _)| std::cmp::Reverse(*generation));
+        for (rank, (generation, path)) in stored.iter().enumerate() {
+            if Some(*generation) == exempt {
+                continue;
+            }
+            if !retention.keeps(*generation, rank) {
+                match fs::remove_file(path) {
+                    Ok(()) => {}
+                    // Another process (a concurrent resume's own prune, a
+                    // user cleanup) may have deleted it first; the goal —
+                    // the file being gone — is met either way, and a save
+                    // must not fail after durably writing its checkpoint.
+                    Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(err) => return Err(err.into()),
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The stored checkpoint with the highest generation, if any.

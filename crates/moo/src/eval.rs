@@ -2,23 +2,31 @@
 //! into evaluated [`Individual`]s.
 //!
 //! The expensive part of every study in this workspace is the objective
-//! oracle — an FBA simplex solve per candidate for the Geobacter problem, an
-//! ODE steady state per candidate for the leaf model. The algorithms
-//! therefore produce their whole offspring batch up front (variation is
-//! RNG-driven and stays serial) and hand it to an [`EvalBackend`] in one
-//! call. Because objective evaluation is a pure function of the decision
-//! vector and the backend preserves batch order, every backend produces
-//! **bit-identical** results for a fixed seed — `Threads(n)` only changes
-//! wall-clock time, never the trajectory of the search.
+//! oracle — an FBA steady-state residual per candidate for the Geobacter
+//! problem, an ODE steady state per candidate for the leaf model. The
+//! algorithms therefore produce their whole offspring batch up front
+//! (variation is RNG-driven and stays serial) and hand it to an evaluation
+//! backend in one call. Because objective evaluation is a pure function of
+//! the decision vector and the backend preserves batch order, every backend
+//! produces **bit-identical** results for a fixed seed — `Threads(n)` only
+//! changes wall-clock time, never the trajectory of the search.
+//!
+//! [`EvalBackend`] is the *description* (serial or `n` workers, as carried
+//! by configs and run specs); [`crate::exec::Executor`] is the *runtime
+//! object* — a persistent worker pool that outlives individual batches.
+//! Optimizers build one executor per run from their configured backend and
+//! feed it every batch, so worker threads are spawned once instead of per
+//! generation.
 
+use crate::exec::Executor;
 use crate::{Individual, MultiObjectiveProblem};
 
 /// Strategy used to evaluate a batch of candidate decision vectors.
 ///
-/// The default is [`EvalBackend::Serial`]. `Threads(n)` splits the batch
-/// into `n` contiguous chunks evaluated on scoped OS threads
-/// (`std::thread::scope`), which requires nothing beyond the
-/// [`MultiObjectiveProblem`]'s existing `Sync` bound.
+/// The default is [`EvalBackend::Serial`]. `Threads(n)` splits each batch
+/// into `n` contiguous chunks evaluated on a persistent pool of `n` worker
+/// threads (one [`crate::exec::Executor`] per run), which requires nothing
+/// beyond the [`MultiObjectiveProblem`]'s existing `Sync` bound.
 ///
 /// # Determinism
 ///
@@ -26,7 +34,7 @@ use crate::{Individual, MultiObjectiveProblem};
 /// RNG, so for a fixed seed `Serial` and `Threads(n)` produce bit-identical
 /// populations for every `n`. The determinism test-suite
 /// (`tests/determinism.rs`) asserts this on Schaffer, ZDT1 and the
-/// Geobacter problem.
+/// Geobacter problem, for the pooled executor included.
 ///
 /// # Example
 ///
@@ -43,14 +51,22 @@ pub enum EvalBackend {
     /// Evaluate the batch on the calling thread, in order.
     #[default]
     Serial,
-    /// Evaluate the batch on this many scoped worker threads. `Threads(0)`
-    /// and `Threads(1)` are equivalent to [`EvalBackend::Serial`].
+    /// Evaluate the batch on a persistent pool of this many worker threads.
+    ///
+    /// `Threads(0)` and `Threads(1)` are *exactly* equivalent to
+    /// [`EvalBackend::Serial`]: [`crate::exec::Executor::new`]
+    /// short-circuits them to the serial executor without constructing any
+    /// pool — a one-worker pool could only evaluate the same chunks the
+    /// calling thread evaluates anyway, so the degenerate counts buy the
+    /// thread-spawn cost and nothing else.
     Threads(usize),
 }
 
 impl EvalBackend {
-    /// Number of worker threads this backend will use for a batch of
-    /// `batch_len` candidates (at least 1, at most one per candidate).
+    /// Degree of parallelism this backend asks for on a batch of
+    /// `batch_len` candidates (at least 1, at most one lane per candidate).
+    /// Both the transient convenience path below and
+    /// [`Executor::map_chunks`]'s chunking honor this clamp.
     pub fn workers(&self, batch_len: usize) -> usize {
         match *self {
             EvalBackend::Serial => 1,
@@ -58,50 +74,40 @@ impl EvalBackend {
         }
     }
 
+    /// A transient executor sized for one batch of `batch_len` candidates:
+    /// never more lanes (and so never more spawned threads) than the batch
+    /// has candidates.
+    fn batch_executor(&self, batch_len: usize) -> Executor {
+        Executor::new(EvalBackend::Threads(self.workers(batch_len)))
+    }
+
     /// Evaluates a batch of decision vectors, returning
     /// `(objectives, constraint_violation)` per candidate in batch order.
     ///
-    /// Delegates to [`MultiObjectiveProblem::evaluate_batch`] per chunk, so
-    /// problems that override the batched entry point benefit under every
-    /// backend.
+    /// Convenience entry point that builds a **transient**
+    /// [`Executor`] for this one call — the cost of the old
+    /// per-batch scoped-thread strategy. Code on a hot path (every
+    /// optimizer in this crate) holds a persistent executor instead and
+    /// calls [`Executor::evaluate_batch`] on it directly, paying the pool
+    /// spawn once per run rather than once per batch.
     pub fn evaluate_batch<P: MultiObjectiveProblem>(
         &self,
         problem: &P,
         xs: &[Vec<f64>],
     ) -> Vec<(Vec<f64>, f64)> {
-        let workers = self.workers(xs.len());
-        if workers <= 1 {
-            return problem.evaluate_batch(xs);
-        }
-        let chunk_size = xs.len().div_ceil(workers);
-        let mut results: Vec<(Vec<f64>, f64)> = Vec::with_capacity(xs.len());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = xs
-                .chunks(chunk_size)
-                .map(|chunk| scope.spawn(move || problem.evaluate_batch(chunk)))
-                .collect();
-            for handle in handles {
-                results.extend(handle.join().expect("evaluation thread must not panic"));
-            }
-        });
-        results
+        self.batch_executor(xs.len()).evaluate_batch(problem, xs)
     }
 
     /// Evaluates a batch of decision vectors into [`Individual`]s (rank and
-    /// crowding left unassigned), preserving batch order.
+    /// crowding left unassigned), preserving batch order. Transient-executor
+    /// convenience like [`EvalBackend::evaluate_batch`].
     pub fn evaluate_individuals<P: MultiObjectiveProblem>(
         &self,
         problem: &P,
         variables: Vec<Vec<f64>>,
     ) -> Vec<Individual> {
-        let evaluated = self.evaluate_batch(problem, &variables);
-        variables
-            .into_iter()
-            .zip(evaluated)
-            .map(|(x, (objectives, violation))| {
-                Individual::from_evaluated(x, objectives, violation)
-            })
-            .collect()
+        self.batch_executor(variables.len())
+            .evaluate_individuals(problem, variables)
     }
 }
 

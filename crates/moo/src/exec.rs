@@ -1,0 +1,527 @@
+//! Persistent execution: a long-lived worker pool behind every
+//! [`EvalBackend`].
+//!
+//! The batched-evaluation design of this workspace used to re-spawn scoped
+//! OS threads (`std::thread::scope`) for every offspring batch. Thread
+//! creation costs on the order of ten microseconds per worker, which is
+//! negligible against an expensive oracle but *dominates* cheap ones — a
+//! sparse steady-state residual over the 608-reaction Geobacter model takes
+//! single-digit microseconds per candidate, so the old strategy could make
+//! `Threads(n)` slower than `Serial` on exactly the workloads parallelism
+//! should help most.
+//!
+//! An [`Executor`] fixes this by keeping the workers alive: threads are
+//! spawned once, parked on a channel, and fed contiguous work chunks batch
+//! after batch for the lifetime of the run. Serial mode ([`Executor::serial`];
+//! also what the `Threads(0)` / `Threads(1)` backends short-circuit to,
+//! without constructing any pool) evaluates on the calling thread.
+//!
+//! # Determinism
+//!
+//! Executors preserve batch order and never touch any RNG. Chunk boundaries
+//! are a pure function of `(batch length, worker count)` and each chunk is
+//! evaluated through [`MultiObjectiveProblem::evaluate_batch`], whose
+//! overrides are required to be pure per candidate — so a pooled run is
+//! bit-identical to a serial run for a fixed seed, exactly like the scoped
+//! strategy it replaces (enforced by `tests/determinism.rs`).
+//!
+//! # Sharing
+//!
+//! Executors are shared as `Arc<Executor>`: an archipelago injects one pool
+//! into all of its islands, and the `pathway` CLI builds a single pool for a
+//! whole `run`/`resume` invocation (`--threads`). Cloning an optimizer
+//! clones the `Arc`, so clones share the same workers.
+//!
+//! # Example
+//!
+//! ```
+//! use pathway_moo::exec::Executor;
+//! use pathway_moo::{problems::Schaffer, EvalBackend};
+//!
+//! let xs = vec![vec![0.0], vec![1.0], vec![2.0]];
+//! let pool = Executor::new(EvalBackend::Threads(2));
+//! let serial = Executor::serial();
+//! // One pool, many batches — and always bit-identical to serial.
+//! for _ in 0..3 {
+//!     assert_eq!(
+//!         pool.evaluate_batch(&Schaffer, &xs),
+//!         serial.evaluate_batch(&Schaffer, &xs)
+//!     );
+//! }
+//! ```
+
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::{EvalBackend, Individual, MultiObjectiveProblem};
+
+/// A type-erased unit of work shipped to a pool worker.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent evaluation executor: either the calling thread
+/// (serial mode) or a long-lived pool of parked worker threads.
+///
+/// Construction from an [`EvalBackend`] is the usual entry point
+/// ([`Executor::new`] / [`Executor::shared`]); `Threads(0)` and `Threads(1)`
+/// short-circuit to serial mode without constructing a pool, since a
+/// one-worker pool could only ever evaluate the same chunks the calling
+/// thread would.
+///
+/// Dropping the last handle to a pooled executor shuts the workers down and
+/// joins them.
+pub struct Executor {
+    mode: Mode,
+}
+
+enum Mode {
+    Serial,
+    Pool(WorkerPool),
+}
+
+impl fmt::Debug for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.mode {
+            Mode::Serial => f.write_str("Executor::Serial"),
+            Mode::Pool(pool) => write!(f, "Executor::Pool({}-way)", pool.workers),
+        }
+    }
+}
+
+impl Default for Executor {
+    /// The serial executor.
+    fn default() -> Self {
+        Executor::serial()
+    }
+}
+
+impl Executor {
+    /// An executor that evaluates on the calling thread.
+    pub fn serial() -> Self {
+        Executor { mode: Mode::Serial }
+    }
+
+    /// Builds the executor an [`EvalBackend`] describes:
+    /// [`EvalBackend::Serial`], `Threads(0)` and `Threads(1)` become the
+    /// (pool-free) serial executor, `Threads(n ≥ 2)` spawns a persistent
+    /// pool of `n` workers.
+    pub fn new(backend: EvalBackend) -> Self {
+        match backend {
+            EvalBackend::Serial | EvalBackend::Threads(0) | EvalBackend::Threads(1) => {
+                Executor::serial()
+            }
+            EvalBackend::Threads(workers) => Executor {
+                mode: Mode::Pool(WorkerPool::new(workers)),
+            },
+        }
+    }
+
+    /// Like [`Executor::new`], wrapped for sharing between optimizers (e.g.
+    /// one pool across all islands of an archipelago).
+    pub fn shared(backend: EvalBackend) -> Arc<Self> {
+        Arc::new(Self::new(backend))
+    }
+
+    /// Degree of parallelism: how many chunks a batch is split into (1 in
+    /// serial mode). A pooled executor runs one chunk on the calling thread
+    /// and the rest on its `workers() - 1` spawned threads.
+    pub fn workers(&self) -> usize {
+        match &self.mode {
+            Mode::Serial => 1,
+            Mode::Pool(pool) => pool.workers,
+        }
+    }
+
+    /// `true` when this executor owns a worker pool.
+    pub fn is_pooled(&self) -> bool {
+        matches!(self.mode, Mode::Pool(_))
+    }
+
+    /// Applies `f` to contiguous chunks of `items` — one chunk per worker,
+    /// the same split [`EvalBackend::workers`] describes — and returns the
+    /// concatenated per-chunk outputs in input order. Serial mode applies
+    /// `f` to the whole slice at once.
+    ///
+    /// A panic inside `f` is propagated to the caller after every
+    /// in-flight chunk of this call has finished; the pool itself survives
+    /// and can run further batches.
+    ///
+    /// Do not call this from inside a job running *on the same pool*
+    /// (i.e. from within `f`): the outer job would occupy a worker while
+    /// blocking on the inner call's completion, which can deadlock a
+    /// saturated pool. Calling from ordinary threads — including several
+    /// concurrently, e.g. archipelago islands sharing one executor — is
+    /// fine and how the pool is meant to be used.
+    pub fn map_chunks<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&[T]) -> Vec<R> + Sync,
+    {
+        match &self.mode {
+            Mode::Serial => f(items),
+            Mode::Pool(pool) => {
+                let workers = pool.workers.min(items.len());
+                if workers <= 1 {
+                    return f(items);
+                }
+                let chunk_size = items.len().div_ceil(workers);
+                let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+                pool.run_chunks(&chunks, &f).into_iter().flatten().collect()
+            }
+        }
+    }
+
+    /// Evaluates a batch of decision vectors, returning
+    /// `(objectives, constraint_violation)` per candidate in batch order.
+    ///
+    /// [`MultiObjectiveProblem::prepare_batch`] is called exactly once with
+    /// the *whole* batch before any chunk is evaluated (this is what lets
+    /// stateful oracles like the warm-started leaf model stay deterministic
+    /// under chunking), then each chunk goes through
+    /// [`MultiObjectiveProblem::evaluate_batch`], so batched-oracle
+    /// overrides amortize under the serial and the pooled mode alike.
+    pub fn evaluate_batch<P: MultiObjectiveProblem>(
+        &self,
+        problem: &P,
+        xs: &[Vec<f64>],
+    ) -> Vec<(Vec<f64>, f64)> {
+        problem.prepare_batch(xs);
+        self.map_chunks(xs, |chunk| problem.evaluate_batch(chunk))
+    }
+
+    /// Evaluates a batch of decision vectors into [`Individual`]s (rank and
+    /// crowding left unassigned), preserving batch order.
+    pub fn evaluate_individuals<P: MultiObjectiveProblem>(
+        &self,
+        problem: &P,
+        variables: Vec<Vec<f64>>,
+    ) -> Vec<Individual> {
+        let evaluated = self.evaluate_batch(problem, &variables);
+        variables
+            .into_iter()
+            .zip(evaluated)
+            .map(|(x, (objectives, violation))| {
+                Individual::from_evaluated(x, objectives, violation)
+            })
+            .collect()
+    }
+}
+
+/// The pre-pool strategy, kept as a measured baseline: spawns `workers`
+/// scoped OS threads for this one batch and tears them down again.
+///
+/// `benches/batch_eval.rs` races this against a persistent [`Executor`] pool
+/// to demonstrate why the pool replaced it; production code should never
+/// call it.
+pub fn scoped_evaluate_batch<P: MultiObjectiveProblem>(
+    problem: &P,
+    xs: &[Vec<f64>],
+    workers: usize,
+) -> Vec<(Vec<f64>, f64)> {
+    problem.prepare_batch(xs);
+    let workers = workers.max(1).min(xs.len().max(1));
+    if workers <= 1 {
+        return problem.evaluate_batch(xs);
+    }
+    let chunk_size = xs.len().div_ceil(workers);
+    let mut results: Vec<(Vec<f64>, f64)> = Vec::with_capacity(xs.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = xs
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move || problem.evaluate_batch(chunk)))
+            .collect();
+        for handle in handles {
+            results.extend(handle.join().expect("evaluation thread must not panic"));
+        }
+    });
+    results
+}
+
+// ------------------------------------------------------------- the pool --
+
+/// Completion tracking for one `run_chunks` call: a countdown of outstanding
+/// jobs plus the first panic payload any of them produced.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Latch {
+    fn new(jobs: usize) -> Self {
+        Latch {
+            state: Mutex::new(LatchState {
+                remaining: jobs,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Marks one job finished, recording its panic payload if it had one.
+    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut state = self.state.lock().expect("latch lock poisoned");
+        state.remaining -= 1;
+        if state.panic.is_none() {
+            state.panic = panic;
+        }
+        if state.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every job completed; returns the first panic payload.
+    fn wait(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        let mut state = self.state.lock().expect("latch lock poisoned");
+        while state.remaining > 0 {
+            state = self.done.wait(state).expect("latch lock poisoned");
+        }
+        state.panic.take()
+    }
+}
+
+/// Long-lived worker threads parked on a shared job channel.
+///
+/// An *n*-way pool spawns only `n - 1` OS threads: `run_chunks` always
+/// executes one chunk on the calling thread (which would otherwise idle at
+/// the barrier), so the caller is the n-th lane and a spawned n-th worker
+/// could never receive work from a single caller.
+struct WorkerPool {
+    /// `Some` until shutdown; dropping it is what makes the workers exit.
+    sender: Option<mpsc::Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    /// Configured parallelism (caller lane included), not thread count.
+    workers: usize,
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> Self {
+        debug_assert!(workers >= 2, "one-worker pools short-circuit to serial");
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..workers - 1)
+            .map(|index| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("pathway-exec-{index}"))
+                    .spawn(move || loop {
+                        // The lock guards only the `recv` hand-off, not job
+                        // execution: it is released the moment a job (or the
+                        // hang-up) arrives.
+                        let message = {
+                            let guard = receiver.lock().expect("pool receiver lock poisoned");
+                            guard.recv()
+                        };
+                        match message {
+                            // Jobs carry their own panic containment (see
+                            // `run_chunks`); the extra catch keeps a worker
+                            // alive even if that invariant is ever broken.
+                            Ok(job) => {
+                                let _ = panic::catch_unwind(AssertUnwindSafe(job));
+                            }
+                            Err(mpsc::RecvError) => break,
+                        }
+                    })
+                    .expect("spawning a pool worker thread failed")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            handles,
+            workers,
+        }
+    }
+
+    /// Runs `f` over every chunk: chunks `1..` go to the pool, chunk `0`
+    /// runs on the calling thread (the caller would otherwise idle-wait),
+    /// and the call blocks until all chunks completed. Panics from any chunk
+    /// are re-raised here after the barrier.
+    fn run_chunks<T, R, F>(&self, chunks: &[&[T]], f: &F) -> Vec<Vec<R>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&[T]) -> Vec<R> + Sync,
+    {
+        let slots: Vec<Mutex<Option<Vec<R>>>> = chunks.iter().map(|_| Mutex::new(None)).collect();
+        let latch = Latch::new(chunks.len() - 1);
+        let sender = self
+            .sender
+            .as_ref()
+            .expect("the pool is only shut down on drop");
+        for (index, &chunk) in chunks.iter().enumerate().skip(1) {
+            let slots = &slots;
+            let latch = &latch;
+            let job = move || match panic::catch_unwind(AssertUnwindSafe(|| f(chunk))) {
+                Ok(values) => {
+                    *slots[index].lock().expect("result slot poisoned") = Some(values);
+                    latch.complete(None);
+                }
+                Err(payload) => latch.complete(Some(payload)),
+            };
+            let boxed: Box<dyn FnOnce() + Send + '_> = Box::new(job);
+            // SAFETY: the job borrows `slots`, `latch`, `f` and `chunk`,
+            // all of which live on this stack frame. The lifetime is erased
+            // to ship the job through the pool's 'static channel, and the
+            // erasure is sound because this function does not return (and
+            // never unwinds past the borrows) until `latch.wait()` below has
+            // observed every submitted job's completion — including the
+            // panic path, which counts the latch down before unwinding is
+            // contained by `catch_unwind`.
+            let boxed: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(boxed) };
+            if let Err(mpsc::SendError(job)) = sender.send(boxed) {
+                // Unreachable while `self` is alive, but losing a job would
+                // deadlock the latch — run it here instead.
+                job();
+            }
+        }
+        // The calling thread is a worker too: it takes the first chunk
+        // instead of idling until the pool drains.
+        let inline_panic = match panic::catch_unwind(AssertUnwindSafe(|| f(chunks[0]))) {
+            Ok(values) => {
+                *slots[0].lock().expect("result slot poisoned") = Some(values);
+                None
+            }
+            Err(payload) => Some(payload),
+        };
+        // Always reach the barrier before unwinding anything: the workers
+        // still hold borrows into this frame until the latch drains.
+        let pool_panic = latch.wait();
+        if let Some(payload) = inline_panic {
+            panic::resume_unwind(payload);
+        }
+        if let Some(payload) = pool_panic {
+            panic::resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every completed chunk stored its result")
+            })
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Hang up the channel, then join: each worker exits its recv loop
+        // once the queue drains.
+        drop(self.sender.take());
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::{BinhKorn, Schaffer};
+
+    fn candidates(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![-5.0 + i as f64 * 0.37]).collect()
+    }
+
+    #[test]
+    fn backend_construction_short_circuits_degenerate_pools() {
+        assert!(!Executor::new(EvalBackend::Serial).is_pooled());
+        assert!(!Executor::new(EvalBackend::Threads(0)).is_pooled());
+        assert!(!Executor::new(EvalBackend::Threads(1)).is_pooled());
+        let pool = Executor::new(EvalBackend::Threads(3));
+        assert!(pool.is_pooled());
+        assert_eq!(pool.workers(), 3);
+        assert_eq!(Executor::serial().workers(), 1);
+    }
+
+    #[test]
+    fn pool_matches_serial_across_many_batches() {
+        let pool = Executor::new(EvalBackend::Threads(4));
+        let serial = Executor::serial();
+        for batch_len in [0, 1, 2, 3, 7, 13, 50] {
+            let xs = candidates(batch_len);
+            assert_eq!(
+                pool.evaluate_batch(&Schaffer, &xs),
+                serial.evaluate_batch(&Schaffer, &xs),
+                "batch of {batch_len} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn constraint_violations_survive_the_pool() {
+        let xs: Vec<Vec<f64>> = (0..9)
+            .map(|i| vec![i as f64 * 0.6, 3.0 - i as f64 * 0.3])
+            .collect();
+        let pool = Executor::new(EvalBackend::Threads(3));
+        let pooled = pool.evaluate_batch(&BinhKorn, &xs);
+        assert_eq!(pooled, Executor::serial().evaluate_batch(&BinhKorn, &xs));
+        assert!(pooled.iter().any(|(_, v)| *v > 0.0));
+    }
+
+    #[test]
+    fn map_chunks_preserves_order() {
+        let pool = Executor::new(EvalBackend::Threads(3));
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = pool.map_chunks(&items, |chunk| {
+            chunk.iter().map(|v| v * 2).collect::<Vec<_>>()
+        });
+        assert_eq!(doubled, (0..100).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn evaluate_individuals_preserves_order_and_variables() {
+        let xs = candidates(6);
+        let pool = Executor::new(EvalBackend::Threads(2));
+        let individuals = pool.evaluate_individuals(&Schaffer, xs.clone());
+        assert_eq!(individuals.len(), xs.len());
+        for (individual, x) in individuals.iter().zip(&xs) {
+            assert_eq!(&individual.variables, x);
+            assert_eq!(individual.objectives, Schaffer.evaluate(x));
+        }
+    }
+
+    #[test]
+    fn a_panicking_chunk_propagates_and_the_pool_survives() {
+        let pool = Executor::new(EvalBackend::Threads(2));
+        let items: Vec<usize> = (0..16).collect();
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map_chunks(&items, |chunk| {
+                if chunk.contains(&12) {
+                    panic!("oracle exploded");
+                }
+                chunk.to_vec()
+            })
+        }));
+        assert!(outcome.is_err(), "the chunk panic must reach the caller");
+        // The pool is still serviceable afterwards.
+        let squares = pool.map_chunks(&items, |chunk| {
+            chunk.iter().map(|v| v * v).collect::<Vec<_>>()
+        });
+        assert_eq!(squares.len(), items.len());
+    }
+
+    #[test]
+    fn scoped_baseline_matches_the_pool() {
+        let xs = candidates(11);
+        let pool = Executor::new(EvalBackend::Threads(3));
+        assert_eq!(
+            scoped_evaluate_batch(&Schaffer, &xs, 3),
+            pool.evaluate_batch(&Schaffer, &xs)
+        );
+    }
+
+    #[test]
+    fn debug_formats_name_the_mode() {
+        assert_eq!(format!("{:?}", Executor::serial()), "Executor::Serial");
+        let pool = Executor::new(EvalBackend::Threads(2));
+        assert_eq!(format!("{pool:?}"), "Executor::Pool(2-way)");
+    }
+}

@@ -18,8 +18,9 @@
 //! * [`Archipelago`] / [`Pmo2`] — the island model with periodic migration
 //!   that constitutes PMO2 (the paper's configuration: two NSGA-II islands,
 //!   all-to-all migration every 200 generations with probability 0.5).
-//! * [`EvalBackend`] — batched candidate evaluation, serial or on scoped
-//!   threads; bit-identical to serial for a fixed seed.
+//! * [`EvalBackend`] / [`exec::Executor`] — batched candidate evaluation,
+//!   serial or on a persistent worker pool; bit-identical to serial for a
+//!   fixed seed.
 //! * [`metrics`] — the hypervolume indicator and the paper's global/relative
 //!   Pareto coverage metrics (Equations 1–2).
 //! * [`mining`] — trade-off selection strategies: ideal point, Pareto Relative
@@ -58,6 +59,7 @@ mod operators;
 mod problem;
 
 pub mod engine;
+pub mod exec;
 pub mod metrics;
 pub mod mining;
 pub mod problems;
@@ -75,6 +77,7 @@ pub use engine::{
     Optimizer, OptimizerState, RunCheckpoint, StoppingRule,
 };
 pub use eval::EvalBackend;
+pub use exec::Executor;
 pub use individual::{Individual, Population};
 pub use moead::{Moead, MoeadConfig};
 pub use nsga2::{Nsga2, Nsga2Config};

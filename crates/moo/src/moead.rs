@@ -1,8 +1,11 @@
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::dominance::nondominated_filter;
 use crate::engine::{EngineError, MoeadState, Optimizer, OptimizerState, RngState};
+use crate::exec::Executor;
 use crate::individual::sample_within;
 use crate::{polynomial_mutation, sbx_crossover, EvalBackend, Individual, MultiObjectiveProblem};
 
@@ -80,6 +83,9 @@ pub struct Moead {
     /// Running ideal point `z*` over everything evaluated so far.
     ideal: Vec<f64>,
     evaluations: usize,
+    /// Lazily built from `config.backend` on first use, or injected via
+    /// [`Moead::set_executor`]. Configuration, not run state.
+    executor: Option<Arc<Executor>>,
 }
 
 impl Moead {
@@ -93,12 +99,32 @@ impl Moead {
             population: Vec::new(),
             ideal: Vec::new(),
             evaluations: 0,
+            executor: None,
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &MoeadConfig {
         &self.config
+    }
+
+    /// Installs a (usually shared) evaluation executor for the initial
+    /// population batch, replacing the one this solver would lazily build
+    /// from its configured [`EvalBackend`]. Executors never change results,
+    /// only where batches run.
+    pub fn set_executor(&mut self, executor: Arc<Executor>) {
+        self.executor = Some(executor);
+    }
+
+    /// The executor evaluating this solver's batches, building it from the
+    /// configured backend on first use.
+    fn executor(&mut self) -> Arc<Executor> {
+        if self.executor.is_none() {
+            self.executor = Some(Executor::shared(self.config.backend));
+        }
+        self.executor
+            .clone()
+            .expect("the executor was just installed")
     }
 
     /// Current population, one incumbent per sub-problem (empty before
@@ -206,15 +232,14 @@ impl Moead {
         }
         if self.population.is_empty() {
             // One individual per sub-problem: sample every decision vector
-            // first, then evaluate the batch through the backend.
+            // first, then evaluate the batch through the executor.
             let bounds = problem.bounds();
             let initial_variables: Vec<Vec<f64>> = (0..self.weights.len())
                 .map(|_| sample_within(&bounds, &mut self.rng))
                 .collect();
             self.evaluations += initial_variables.len();
             self.population = self
-                .config
-                .backend
+                .executor()
                 .evaluate_individuals(problem, initial_variables);
             self.ideal = ideal_point(&self.population);
         } else {

@@ -1,7 +1,10 @@
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::engine::{EngineError, Nsga2State, Optimizer, OptimizerState, RngState};
+use crate::exec::Executor;
 use crate::individual::sample_within;
 use crate::{
     fast_nondominated_sort_with, polynomial_mutation, sbx_crossover, tournament_select,
@@ -63,6 +66,11 @@ pub struct Nsga2 {
     population: Population,
     scratch: SortScratch,
     evaluations: usize,
+    /// Lazily built from `config.backend` on first use, or injected via
+    /// [`Nsga2::set_executor`] (the archipelago shares one pool across all
+    /// islands). Not part of the run state: checkpoints never carry it and
+    /// restoring never touches it.
+    executor: Option<Arc<Executor>>,
 }
 
 impl Nsga2 {
@@ -74,12 +82,34 @@ impl Nsga2 {
             population: Population::new(),
             scratch: SortScratch::new(),
             evaluations: 0,
+            executor: None,
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &Nsga2Config {
         &self.config
+    }
+
+    /// Installs a (usually shared) evaluation executor, replacing the one
+    /// this solver would otherwise lazily build from its configured
+    /// [`EvalBackend`]. The executor only changes where batches are
+    /// evaluated, never what they evaluate to, so swapping executors
+    /// mid-run — or resuming a checkpoint under a different executor —
+    /// preserves bit-identical results.
+    pub fn set_executor(&mut self, executor: Arc<Executor>) {
+        self.executor = Some(executor);
+    }
+
+    /// The executor evaluating this solver's batches, building it from the
+    /// configured backend on first use.
+    fn executor(&mut self) -> Arc<Executor> {
+        if self.executor.is_none() {
+            self.executor = Some(Executor::shared(self.config.backend));
+        }
+        self.executor
+            .clone()
+            .expect("the executor was just installed")
     }
 
     /// Current population (empty before the first generation).
@@ -125,7 +155,7 @@ impl Nsga2 {
 
     /// Initializes the population if needed: samples every decision vector
     /// first (one RNG stream), then evaluates the whole batch through the
-    /// configured backend.
+    /// configured executor.
     pub fn initialize<P: MultiObjectiveProblem>(&mut self, problem: &P) {
         if !self.population.is_empty() {
             return;
@@ -136,8 +166,7 @@ impl Nsga2 {
             .collect();
         self.evaluations += variables.len();
         self.population = self
-            .config
-            .backend
+            .executor()
             .evaluate_individuals(problem, variables)
             .into();
         self.refresh_ranks();
@@ -196,7 +225,7 @@ impl Nsga2 {
 
         // --- one batched (possibly parallel) evaluation of all offspring ---
         self.evaluations += children.len();
-        let offspring = self.config.backend.evaluate_individuals(problem, children);
+        let offspring = self.executor().evaluate_individuals(problem, children);
 
         // --- environmental selection on parents ∪ offspring ---
         let mut combined = std::mem::take(&mut self.population).into_members();

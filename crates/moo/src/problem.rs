@@ -48,16 +48,32 @@ pub trait MultiObjectiveProblem: Sync {
     /// [`MultiObjectiveProblem::evaluate`] and
     /// [`MultiObjectiveProblem::constraint_violation`]. Problems whose oracle
     /// amortizes across candidates (shared factorizations, vectorized
-    /// kernels) can override it; the [`crate::EvalBackend`]s call this entry
-    /// point once per chunk, so an override speeds up the serial and the
-    /// threaded path alike. Overrides must stay pure functions of each `x`
-    /// and preserve order, otherwise parallel runs lose bit-identity with
-    /// serial runs.
+    /// kernels — e.g. the Geobacter residual's one sparse matrix × matrix
+    /// product over the whole batch) can override it; the
+    /// [`crate::exec::Executor`]s call this entry point once per chunk, so
+    /// an override speeds up the serial and the pooled path alike. Overrides
+    /// must stay pure functions of each `x` (given the state frozen by
+    /// [`MultiObjectiveProblem::prepare_batch`]) and preserve order,
+    /// otherwise parallel runs lose bit-identity with serial runs.
     fn evaluate_batch(&self, xs: &[Vec<f64>]) -> Vec<(Vec<f64>, f64)> {
         xs.iter()
             .map(|x| (self.evaluate(x), self.constraint_violation(x)))
             .collect()
     }
+
+    /// Hook called exactly once with the **entire** batch before any
+    /// (possibly chunked, possibly parallel) evaluation of it begins.
+    ///
+    /// [`crate::exec::Executor::evaluate_batch`] splits a batch into
+    /// per-worker chunks and calls
+    /// [`MultiObjectiveProblem::evaluate_batch`] once per chunk — so an
+    /// oracle that carries state across batches (the warm-started leaf
+    /// model's parent pool, for instance) must commit that state *here*,
+    /// where the whole batch is visible, and treat it as frozen during the
+    /// chunk evaluations. That freeze is what keeps chunked (pooled) runs
+    /// bit-identical to serial runs. The default is a no-op: stateless
+    /// oracles need nothing.
+    fn prepare_batch(&self, _xs: &[Vec<f64>]) {}
 
     /// Total constraint violation at `x`; `0.0` means feasible. Algorithms use
     /// constrained-domination: feasible solutions dominate infeasible ones and
@@ -94,6 +110,9 @@ impl<T: MultiObjectiveProblem + ?Sized> MultiObjectiveProblem for &T {
     }
     fn evaluate_batch(&self, xs: &[Vec<f64>]) -> Vec<(Vec<f64>, f64)> {
         (**self).evaluate_batch(xs)
+    }
+    fn prepare_batch(&self, xs: &[Vec<f64>]) {
+        (**self).prepare_batch(xs);
     }
     fn constraint_violation(&self, x: &[f64]) -> f64 {
         (**self).constraint_violation(x)

@@ -11,8 +11,9 @@ use std::path::{Path, PathBuf};
 
 use pathway_moo::engine::{
     decode_checkpoint, encode_checkpoint, read_checkpoint_file, write_checkpoint_file,
-    ArchipelagoSpec, ArchipelagoState, CheckpointError, CheckpointStore, Nsga2Spec, Nsga2State,
-    OptimizerSpec, OptimizerState, ProblemSpec, RngState, RunCheckpoint, RunSpec, StoppingSpec,
+    ArchipelagoSpec, ArchipelagoState, CheckpointError, CheckpointRetention, CheckpointStore,
+    Nsga2Spec, Nsga2State, OptimizerSpec, OptimizerState, ProblemSpec, RngState, RunCheckpoint,
+    RunSpec, StoppingSpec,
 };
 use pathway_moo::{Individual, MigrationTopology};
 
@@ -35,6 +36,7 @@ fn fixture_spec() -> RunSpec {
         }),
         seed: 7,
         checkpoint_every: 2,
+        retention: None,
         reference_point: Some(vec![30.0, 30.0]),
         stopping: StoppingSpec {
             max_generations: 6,
@@ -211,5 +213,123 @@ fn latest_picks_the_highest_generation() {
     }
     let latest = store.latest().unwrap().expect("checkpoints exist");
     assert_eq!(CheckpointStore::generation_of(&latest), Some(10));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn stored_generations(store: &CheckpointStore) -> Vec<usize> {
+    let mut generations: Vec<usize> = std::fs::read_dir(store.dir())
+        .unwrap()
+        .filter_map(|entry| CheckpointStore::generation_of(&entry.unwrap().path()))
+        .collect();
+    generations.sort_unstable();
+    generations
+}
+
+fn save_generation(store: &CheckpointStore, generation: usize) {
+    let mut checkpoint = fixture_checkpoint();
+    checkpoint.generation = generation;
+    store.save(&checkpoint).unwrap();
+}
+
+#[test]
+fn retention_keeps_last_k_plus_every_mth() {
+    let dir = std::env::temp_dir().join(format!("pathway-retain-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = fixture_spec();
+    let store = CheckpointStore::create(&dir, &spec)
+        .unwrap()
+        .with_retention(Some(CheckpointRetention {
+            keep_last: 2,
+            keep_every: 4,
+        }));
+    for generation in 1..=10 {
+        save_generation(&store, generation);
+    }
+    // Newest two (9, 10) plus the multiples of four (4, 8) survive.
+    assert_eq!(stored_generations(&store), vec![4, 8, 9, 10]);
+    // The latest checkpoint is always among the survivors.
+    let latest = store.latest().unwrap().expect("survivors exist");
+    assert_eq!(CheckpointStore::generation_of(&latest), Some(10));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn retention_without_modular_keeps_is_a_sliding_window() {
+    let dir = std::env::temp_dir().join(format!("pathway-retain-win-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = fixture_spec();
+    let store = CheckpointStore::create(&dir, &spec)
+        .unwrap()
+        .with_retention(Some(CheckpointRetention {
+            keep_last: 3,
+            keep_every: 0,
+        }));
+    for generation in [5, 1, 9, 3, 7] {
+        save_generation(&store, generation);
+    }
+    assert_eq!(stored_generations(&store), vec![5, 7, 9]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn retention_never_deletes_the_checkpoint_just_saved() {
+    // A directory with stale *higher* generations left by an earlier run:
+    // a resumed run saving gen-9 must not have its fresh checkpoint
+    // swallowed just because gen-10 outranks it.
+    let dir = std::env::temp_dir().join(format!("pathway-retain-stale-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = fixture_spec();
+    let store = CheckpointStore::create(&dir, &spec)
+        .unwrap()
+        .with_retention(Some(CheckpointRetention {
+            keep_last: 1,
+            keep_every: 4,
+        }));
+    for generation in [4, 8, 10] {
+        save_generation(&store, generation);
+    }
+    save_generation(&store, 9);
+    let stored = stored_generations(&store);
+    assert!(
+        stored.contains(&9),
+        "the just-saved gen-9 must survive its own prune (on disk: {stored:?})"
+    );
+    // An explicit prune (no fresh save to protect) applies the bare policy.
+    store.prune().unwrap();
+    assert_eq!(stored_generations(&store), vec![4, 8, 10]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn default_store_keeps_everything_and_spec_retention_is_wired_through() {
+    let dir = std::env::temp_dir().join(format!("pathway-retain-def-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Default: no retention, all ten checkpoints stay.
+    let store = CheckpointStore::create(&dir, &fixture_spec()).unwrap();
+    assert_eq!(store.retention(), None);
+    for generation in 1..=10 {
+        save_generation(&store, generation);
+    }
+    assert_eq!(stored_generations(&store).len(), 10);
+    std::fs::remove_dir_all(&dir).ok();
+
+    // A spec-carried policy is installed by `create` automatically.
+    let mut spec = fixture_spec();
+    spec.retention = Some(CheckpointRetention {
+        keep_last: 1,
+        keep_every: 0,
+    });
+    let store = CheckpointStore::create(&dir, &spec).unwrap();
+    assert_eq!(
+        store.retention(),
+        Some(CheckpointRetention {
+            keep_last: 1,
+            keep_every: 0
+        })
+    );
+    for generation in 1..=10 {
+        save_generation(&store, generation);
+    }
+    assert_eq!(stored_generations(&store), vec![10]);
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -10,8 +10,8 @@
 use proptest::prelude::*;
 
 use pathway_moo::engine::{
-    ArchipelagoSpec, MoeadSpec, Nsga2Spec, OptimizerSpec, ProblemSpec, RunSpec, SpecError,
-    StoppingSpec,
+    ArchipelagoSpec, CheckpointRetention, MoeadSpec, Nsga2Spec, OptimizerSpec, ProblemSpec,
+    RunSpec, SpecError, StoppingSpec,
 };
 use pathway_moo::{EvalBackend, MigrationTopology};
 
@@ -77,6 +77,16 @@ fn build_spec(
         optimizer,
         seed,
         checkpoint_every: options % 7,
+        retention: if options & 64 != 0 {
+            Some(CheckpointRetention {
+                keep_last: (options % 5) + 1,
+                // Exercise both the "keep_every omitted from the text" (0)
+                // and the explicit-modular form.
+                keep_every: if options & 8 != 0 { options % 13 } else { 0 },
+            })
+        } else {
+            None
+        },
         reference_point: if options & 4 != 0 {
             Some(vec![
                 probability * 10.0 + 1.0,
@@ -114,7 +124,7 @@ proptest! {
         population in 2usize..300,
         probability in 0.0f64..1.0,
         eta in 0.5f64..40.0,
-        options in 0usize..64,
+        options in 0usize..128,
         seed in 0u64..1_000_000,
         generations in 1usize..1000,
         threads in 0usize..9,
@@ -136,7 +146,7 @@ proptest! {
         population in 2usize..100,
         probability in 0.0f64..1.0,
         eta in 0.5f64..40.0,
-        options in 0usize..64,
+        options in 0usize..128,
         seed in 0u64..1000,
     ) {
         let spec = build_spec(kind, population, probability, eta, options, seed, 50, 0);

@@ -478,8 +478,40 @@ impl OdeUptakeEvaluator {
         scenario: &Scenario,
     ) -> Result<(SteadyState, f64), OdeError> {
         let model = CalvinCycleOde::new(partition, scenario);
+        let y0 = model.initial_state();
+        self.run_to_steady(model, y0)
+    }
+
+    /// Like [`OdeUptakeEvaluator::steady_state`], but integrates from an
+    /// explicit initial state instead of the model's cold-start default.
+    ///
+    /// This is the warm-start entry point: seeding the integration with the
+    /// steady state of a *similar* partition (a parent design in an
+    /// optimization run) starts the trajectory near the attractor, so the
+    /// convergence windows it has to pay for are the ones that track the
+    /// difference between the designs, not the whole spool-up transient.
+    /// Starting from a design's own steady state converges within the first
+    /// window.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OdeUptakeEvaluator::steady_state`].
+    pub fn steady_state_from(
+        &self,
+        partition: &EnzymePartition,
+        scenario: &Scenario,
+        y0: Vector,
+    ) -> Result<(SteadyState, f64), OdeError> {
+        self.run_to_steady(CalvinCycleOde::new(partition, scenario), y0)
+    }
+
+    fn run_to_steady(
+        &self,
+        model: CalvinCycleOde,
+        y0: Vector,
+    ) -> Result<(SteadyState, f64), OdeError> {
         let driver = SteadyStateDriver::new(BackwardEuler::new(self.step), self.options);
-        let steady = driver.run(&model, model.initial_state())?;
+        let steady = driver.run(&model, y0)?;
         let uptake = model.net_uptake(&steady.state);
         Ok((steady, uptake))
     }
@@ -588,6 +620,24 @@ mod tests {
             future > past,
             "future uptake {future} should exceed past uptake {past}"
         );
+    }
+
+    #[test]
+    fn warm_starting_from_the_own_steady_state_settles_immediately() {
+        let evaluator = OdeUptakeEvaluator::fast();
+        let natural = EnzymePartition::natural();
+        let scenario = Scenario::present_low_export();
+        let (cold, cold_uptake) = evaluator
+            .steady_state(&natural, &scenario)
+            .expect("cold start settles");
+        let (warm, warm_uptake) = evaluator
+            .steady_state_from(&natural, &scenario, cold.state.clone())
+            .expect("warm start settles");
+        // Re-starting from the attractor converges within the first
+        // integration window, while the cold start pays the full transient.
+        assert!(warm.simulated_time <= evaluator.options.window + 1e-9);
+        assert!(warm.simulated_time < cold.simulated_time);
+        assert!((warm_uptake - cold_uptake).abs() < 0.5);
     }
 
     #[test]

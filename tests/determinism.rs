@@ -1,19 +1,29 @@
-//! Determinism suite: `EvalBackend::Threads(n)` must reproduce
+//! Determinism suite: `EvalBackend::Threads(n)` — which since the executor
+//! refactor means a persistent worker pool — must reproduce
 //! `EvalBackend::Serial` bit-for-bit for a fixed seed on every shipped
 //! problem, and a `Driver` run split by checkpoint/resume at *any*
 //! generation must reproduce the unsplit run bit-for-bit.
 //!
-//! Variation is RNG-driven and stays serial; only the (pure) objective
-//! oracle runs on worker threads, and batch order is preserved, so parallel
-//! evaluation may change wall-clock time but never the search trajectory.
+//! Variation is RNG-driven and stays serial; only the objective oracle runs
+//! on worker threads, and batch order is preserved, so parallel evaluation
+//! may change wall-clock time but never the search trajectory. The
+//! batch-amortized oracles keep the same contract: the Geobacter residual's
+//! whole-batch sparse mat×mat kernel is bit-identical to the per-candidate
+//! path, and the warm-started ODE leaf oracle freezes its parent pool per
+//! batch (`prepare_batch`) so chunked pooled evaluation matches serial.
 //! Checkpoints capture every bit of run state (populations, RNG streams,
 //! migration archives, counters, the driver's hypervolume history), so a
-//! resumed run continues the exact trajectory. CI runs this suite
-//! explicitly (`cargo test -q -- determinism`) so any divergence is caught
-//! on every push.
+//! resumed run continues the exact trajectory — executors are
+//! configuration, not state, so a run may even resume under a different
+//! worker count. CI runs this suite explicitly
+//! (`cargo test -q -- determinism`) so any divergence is caught on every
+//! push.
+
+use std::sync::Arc;
 
 use pathway_core::prelude::*;
 use pathway_moo::problems::{Schaffer, Zdt1};
+use pathway_photosynthesis::EnzymePartition;
 
 /// Everything that defines an individual's identity, bit-for-bit.
 fn signature(front: &[Individual]) -> Vec<(Vec<f64>, Vec<f64>, f64)> {
@@ -237,6 +247,138 @@ fn determinism_checkpoint_nsga2_standalone() {
             "NSGA-II diverged when split at generation {split_at}"
         );
     }
+}
+
+// --- persistent-executor determinism ------------------------------------
+
+/// One shared worker pool, injected explicitly and reused across an entire
+/// run, must reproduce the serial run bit for bit — at every checkpoint
+/// split point. This is the pooled-executor variant of
+/// `determinism_checkpoint_split_at_every_generation`: the *same* pool
+/// instance serves the first half, the checkpoint, and the resumed half,
+/// exactly like the `pathway` CLI's `--threads` does.
+#[test]
+fn determinism_pooled_executor_splits_reuse_one_pool() {
+    let total = 8;
+    let serial = signature(
+        &checkpoint_driver(EvalBackend::Serial, 29, &Schaffer)
+            .with_stopping(StoppingRule::MaxGenerations(total))
+            .run(),
+    );
+    assert!(!serial.is_empty());
+    let pool: Arc<Executor> = Executor::shared(EvalBackend::Threads(3));
+    for split_at in 0..=total {
+        let stop = StoppingRule::MaxGenerations(total);
+        let mut first = Archipelago::new(checkpoint_config(EvalBackend::Serial), 29);
+        first.set_executor(Arc::clone(&pool));
+        let mut first = Driver::new(first, &Schaffer).with_stopping(stop.clone());
+        first.run_for(split_at);
+        let checkpoint = first.checkpoint();
+        drop(first);
+        let mut fresh = Archipelago::new(checkpoint_config(EvalBackend::Serial), 29);
+        fresh.set_executor(Arc::clone(&pool));
+        let mut resumed = Driver::resume(fresh, &Schaffer, checkpoint)
+            .expect("checkpoint matches the configuration")
+            .with_stopping(stop);
+        assert_eq!(
+            signature(&resumed.run()),
+            serial,
+            "pooled executor diverged from serial when split at generation {split_at}"
+        );
+    }
+}
+
+/// A shared pool injected into a plain NSGA-II run matches serial too (the
+/// archipelago test above covers island sharing on top).
+#[test]
+fn determinism_pooled_executor_matches_serial_on_nsga2() {
+    let problem = Zdt1 { variables: 8 };
+    let config = Nsga2Config {
+        population_size: 24,
+        generations: 15,
+        ..Default::default()
+    };
+    let serial = signature(&Nsga2::new(config, 41).run(&problem));
+    let pool = Executor::shared(EvalBackend::Threads(4));
+    let mut pooled = Nsga2::new(config, 41);
+    pooled.set_executor(pool);
+    assert_eq!(signature(&pooled.run(&problem)), serial);
+}
+
+// --- batched-oracle determinism -----------------------------------------
+
+/// The Geobacter whole-batch residual (one sparse matrix × matrix product)
+/// must be bit-identical to the per-candidate path it replaces.
+#[test]
+fn determinism_batched_geobacter_oracle_matches_per_candidate() {
+    let model = GeobacterModel::builder().reactions(48).seed(5).build();
+    let problem = GeobacterFluxProblem::new(&model).expect("small model is feasible");
+    // A spread of candidates: the reference, perturbations, and a heavily
+    // unbalanced vector that exceeds the violation tolerance.
+    let mut xs = vec![problem.reference_fluxes().to_vec()];
+    for (step, scale) in [(7usize, 0.25), (11, -0.5), (3, 2.0)] {
+        let mut x = problem.reference_fluxes().to_vec();
+        for value in x.iter_mut().step_by(step) {
+            *value += scale;
+        }
+        xs.push(x);
+    }
+    let mut unbalanced = problem.reference_fluxes().to_vec();
+    unbalanced[0] += 500.0;
+    xs.push(unbalanced);
+
+    let batched = problem.evaluate_batch(&xs);
+    assert!(batched.iter().any(|(_, violation)| *violation > 0.0));
+    for (x, (objectives, violation)) in xs.iter().zip(&batched) {
+        assert_eq!(objectives, &problem.evaluate(x), "objectives diverged");
+        assert_eq!(
+            *violation,
+            problem.constraint_violation(x),
+            "violation diverged"
+        );
+    }
+    // And through the executors: pooled chunking changes nothing.
+    let serial = Executor::serial().evaluate_batch(&problem, &xs);
+    let pooled = Executor::new(EvalBackend::Threads(2)).evaluate_batch(&problem, &xs);
+    assert_eq!(serial, pooled);
+}
+
+/// The warm-started ODE leaf oracle: batched evaluation must match the
+/// per-candidate path against the same (frozen) parent pool, and a pooled
+/// multi-generation run must match the serial one bit for bit even though
+/// every generation warm-starts from the previous one's steady states.
+#[test]
+fn determinism_warm_started_leaf_oracle_matches_per_candidate_and_serial() {
+    let natural = EnzymePartition::natural();
+    let batch: Vec<Vec<f64>> = [1.0, 1.1, 1.3]
+        .iter()
+        .map(|&factor| natural.scaled(factor).capacities().to_vec())
+        .collect();
+
+    // Batched == per-candidate on a fresh (cold-pool) problem.
+    let batched_problem = OdeLeafRedesignProblem::new(Scenario::present_low_export());
+    let itemwise_problem = OdeLeafRedesignProblem::new(Scenario::present_low_export());
+    for (x, (objectives, _)) in batch.iter().zip(batched_problem.evaluate_batch(&batch)) {
+        assert_eq!(objectives, itemwise_problem.evaluate(x));
+    }
+
+    // Serial vs pooled executors across generations (warm starts engaged
+    // from generation 1 on).
+    let serial_problem = OdeLeafRedesignProblem::new(Scenario::present_low_export());
+    let pooled_problem = OdeLeafRedesignProblem::new(Scenario::present_low_export());
+    let serial = Executor::serial();
+    let pooled = Executor::new(EvalBackend::Threads(3));
+    for generation in 0..2 {
+        assert_eq!(
+            serial.evaluate_batch(&serial_problem, &batch),
+            pooled.evaluate_batch(&pooled_problem, &batch),
+            "warm-started generation {generation} diverged"
+        );
+    }
+    assert!(
+        serial_problem.warm_start_pool_size() > 0,
+        "the second generation must actually have warm-started"
+    );
 }
 
 /// MOEA/D splits bit-identically too: the ideal point and RNG stream are
