@@ -1,0 +1,50 @@
+//! Sweep grid expansion cost versus cell count.
+//!
+//! `SweepSpec::from_text` validates the *whole* grid up front (every cell
+//! is substituted, re-parsed and re-validated), so its cost scales with
+//! the product of the axis lengths. This bench pins that cost so the
+//! up-front validation stays cheap next to even a single cell's run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathway_moo::engine::SweepSpec;
+
+/// A kind x problem x seed grid with `seeds` seeds: 3 x 2 x seeds cells.
+fn sweep_text(seeds: usize) -> String {
+    let seed_axis = (1..=seeds)
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join(" | ");
+    format!(
+        "pathway-sweep v1\n\n\
+         [sweep]\n\
+         optimizer.kind = nsga2 | moead | archipelago\n\
+         problem.name = schaffer | zdt1\n\
+         run.seed = {seed_axis}\n\n\
+         [problem]\nname = schaffer\n\n\
+         [optimizer]\nkind = nsga2\npopulation = 24\nbackend = serial\n\n\
+         [run]\nseed = 1\ncheckpoint_every = 20\nreference_point = 25, 25\n\n\
+         [stop]\nmax_generations = 60\n"
+    )
+}
+
+fn bench_sweep_expand(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_expand");
+    group.sample_size(20);
+    for &seeds in &[2usize, 16, 64] {
+        let text = sweep_text(seeds);
+        let cells = 3 * 2 * seeds;
+        // Parse + whole-grid validation, as `pathway sweep` pays it.
+        group.bench_with_input(BenchmarkId::new("from_text", cells), &text, |b, text| {
+            b.iter(|| SweepSpec::from_text(text).unwrap());
+        });
+        // Re-expansion of an already validated sweep (the runner's path).
+        let sweep = SweepSpec::from_text(&text).unwrap();
+        group.bench_with_input(BenchmarkId::new("expand", cells), &sweep, |b, sweep| {
+            b.iter(|| sweep.expand().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_expand);
+criterion_main!(benches);

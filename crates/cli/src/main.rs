@@ -7,6 +7,8 @@
 //! ```text
 //! pathway run examples/quickstart.spec          # execute a spec end-to-end
 //! pathway resume checkpoints/gen-50.ckpt        # continue a run, bit-identically
+//! pathway sweep examples/benchmarks.sweep       # expand a grid, run every cell
+//! pathway ledger-check BENCH_sweep.json         # validate a sweep ledger
 //! pathway inspect examples/quickstart.spec      # validate + show canonical form
 //! pathway inspect checkpoints/gen-50.ckpt       # show checkpoint header + spec
 //! pathway list-problems                         # the problem registry
@@ -18,19 +20,31 @@
 //! `checkpoint_every` generations plus one at the end, and `resume`
 //! continues any of them to a final front that is bit-identical to the
 //! uninterrupted run — rejecting, by spec content hash, checkpoints that
-//! belong to a different spec.
+//! belong to a different spec. `sweep` scales the same guarantees to a
+//! whole grid of runs sharing one persistent evaluation pool, with an
+//! append-only results ledger that lets a killed sweep resume only its
+//! incomplete cells.
+//!
+//! Arguments arrive as [`OsString`]s and stay that way until their meaning
+//! is known: path-valued flags convert to [`PathBuf`] losslessly (non-UTF-8
+//! file names work), numeric flags demand valid UTF-8 digits and fail
+//! loudly instead of parsing a lossily converted string.
 
+use std::ffi::OsString;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use pathway_core::sweep::{
+    run_sweep, validate_bench_json, write_front_file, SweepEvent, SweepReport,
+};
 use pathway_core::{
     resume_spec_driver_with_executor, spec_driver_with_executor, validate_spec_against_problem,
     AnyProblem, PROBLEM_CATALOG,
 };
 use pathway_moo::engine::{
-    AnyOptimizer, ChannelObserver, CheckpointStore, Driver, GenerationReport, RunSpec,
-    StoredCheckpoint,
+    is_sweep_text, AnyOptimizer, ChannelObserver, CheckpointStore, Driver, GenerationReport,
+    RunSpec, StoredCheckpoint, SweepSpec,
 };
 use pathway_moo::exec::Executor;
 use pathway_moo::{EvalBackend, Individual};
@@ -41,7 +55,10 @@ pathway — declarative driver for robust-pathway-design runs
 USAGE:
     pathway run <spec-file> [OPTIONS]       execute a run spec end-to-end
     pathway resume <checkpoint> [OPTIONS]   continue a checkpointed run
-    pathway inspect <file>                  describe a spec or checkpoint file
+    pathway sweep <sweep-file> [OPTIONS]    expand a grid spec, run every cell,
+                                            record results in a durable ledger
+    pathway ledger-check <BENCH_sweep.json> validate a sweep ledger's schema
+    pathway inspect <file>                  describe a spec, sweep or checkpoint
     pathway list-problems                   show the problem registry
 
 OPTIONS (run / resume):
@@ -57,10 +74,27 @@ OPTIONS (run / resume):
     --front-out <file>       write the final front, bit-exactly, to <file>
     --spec <file>            (resume) verify the checkpoint against this spec
     --quiet                  no per-generation progress output
+
+OPTIONS (sweep):
+    --out-dir <dir>          sweep output root — holds ledger.md,
+                             BENCH_sweep.json, per-cell checkpoints and fronts
+                             (default: '<sweep>.results' next to the sweep)
+    --stop-after <n>         stop once <n> generations have run across the
+                             grid in this invocation; re-running the same
+                             sweep resumes only its incomplete cells
+    --threads <n> / --quiet  as above
+
+SPEC KEYS ([run] section) controlling checkpoint retention:
+    checkpoint_keep_last = <k>    keep only the newest <k> checkpoints
+    checkpoint_keep_every = <m>   additionally keep every generation
+                                  divisible by <m>
+                             (default: unset — every checkpoint is kept)
 ";
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    // args_os, not args: the latter panics outright on non-UTF-8 argv
+    // entries, which are legal on every Unix.
+    let args: Vec<OsString> = std::env::args_os().skip(1).collect();
     match dispatch(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(CliError::Usage(message)) => {
@@ -87,27 +121,33 @@ impl CliError {
     }
 }
 
-fn dispatch(args: &[String]) -> Result<(), CliError> {
+fn dispatch(args: &[OsString]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
         return Err(CliError::Usage("no command given".to_string()));
     };
-    match command.as_str() {
-        "run" => command_run(&args[1..]),
-        "resume" => command_resume(&args[1..]),
-        "inspect" => command_inspect(&args[1..]),
-        "list-problems" => command_list_problems(&args[1..]),
-        "--help" | "-h" | "help" => {
+    match command.to_str() {
+        Some("run") => command_run(&args[1..]),
+        Some("resume") => command_resume(&args[1..]),
+        Some("sweep") => command_sweep(&args[1..]),
+        Some("ledger-check") => command_ledger_check(&args[1..]),
+        Some("inspect") => command_inspect(&args[1..]),
+        Some("list-problems") => command_list_problems(&args[1..]),
+        Some("--help" | "-h" | "help") => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+        _ => Err(CliError::Usage(format!(
+            "unknown command '{}'",
+            command.to_string_lossy()
+        ))),
     }
 }
 
-/// Parsed `run` / `resume` options.
+/// Parsed `run` / `resume` / `sweep` options.
 struct Options {
     target: PathBuf,
     checkpoint_dir: Option<PathBuf>,
+    out_dir: Option<PathBuf>,
     spec_override: Option<PathBuf>,
     stop_after: Option<usize>,
     threads: Option<usize>,
@@ -119,7 +159,8 @@ impl Options {
     /// The one executor this whole invocation evaluates on: `--threads`
     /// when given, otherwise whatever backend the spec's optimizer carries.
     /// Built exactly once per process, so every generation of a run — and
-    /// of a resume — reuses the same worker pool.
+    /// of a resume, and of every cell of a sweep — reuses the same worker
+    /// pool.
     fn executor(&self, spec: &RunSpec) -> Arc<Executor> {
         let backend = match self.threads {
             Some(threads) => EvalBackend::Threads(threads),
@@ -129,11 +170,38 @@ impl Options {
     }
 }
 
-fn parse_options(args: &[String], what: &str) -> Result<Options, CliError> {
-    let mut target = None;
+/// A path-valued flag: the next raw argument, converted losslessly — a
+/// checkpoint dir with non-UTF-8 bytes in its name stays intact.
+fn path_value(iter: &mut std::slice::Iter<'_, OsString>, flag: &str) -> Result<PathBuf, CliError> {
+    iter.next()
+        .map(PathBuf::from)
+        .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+}
+
+/// A numeric flag: parsed from the raw argument, which must be valid UTF-8
+/// digits. Anything else — including non-UTF-8 bytes that a lossy
+/// conversion would silently replace with U+FFFD — is an explicit usage
+/// error naming the flag and the offending value.
+fn numeric_value(iter: &mut std::slice::Iter<'_, OsString>, flag: &str) -> Result<usize, CliError> {
+    let raw = iter
+        .next()
+        .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+    let text = raw.to_str().ok_or_else(|| {
+        CliError::Usage(format!(
+            "{flag} needs a number, got non-UTF-8 value '{}'",
+            raw.to_string_lossy()
+        ))
+    })?;
+    text.parse()
+        .map_err(|_| CliError::Usage(format!("{flag} needs a number, got '{text}'")))
+}
+
+fn parse_options(args: &[OsString], what: &str) -> Result<Options, CliError> {
+    let mut target: Option<PathBuf> = None;
     let mut options = Options {
         target: PathBuf::new(),
         checkpoint_dir: None,
+        out_dir: None,
         spec_override: None,
         stop_after: None,
         threads: None,
@@ -142,37 +210,28 @@ fn parse_options(args: &[String], what: &str) -> Result<Options, CliError> {
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
-        let mut value_of = |flag: &str| {
-            iter.next()
-                .map(PathBuf::from)
-                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
-        };
-        match arg.as_str() {
-            "--checkpoint-dir" => options.checkpoint_dir = Some(value_of("--checkpoint-dir")?),
-            "--spec" => options.spec_override = Some(value_of("--spec")?),
-            "--front-out" => options.front_out = Some(value_of("--front-out")?),
-            "--stop-after" => {
-                let raw = value_of("--stop-after")?;
-                let raw = raw.to_string_lossy();
-                options.stop_after = Some(raw.parse().map_err(|_| {
-                    CliError::Usage(format!("--stop-after needs a number, got '{raw}'"))
-                })?);
+        match arg.to_str() {
+            Some("--checkpoint-dir") => {
+                options.checkpoint_dir = Some(path_value(&mut iter, "--checkpoint-dir")?);
             }
-            "--threads" => {
-                let raw = value_of("--threads")?;
-                let raw = raw.to_string_lossy();
-                options.threads = Some(raw.parse().map_err(|_| {
-                    CliError::Usage(format!("--threads needs a number, got '{raw}'"))
-                })?);
+            Some("--out-dir") => options.out_dir = Some(path_value(&mut iter, "--out-dir")?),
+            Some("--spec") => options.spec_override = Some(path_value(&mut iter, "--spec")?),
+            Some("--front-out") => options.front_out = Some(path_value(&mut iter, "--front-out")?),
+            Some("--stop-after") => {
+                options.stop_after = Some(numeric_value(&mut iter, "--stop-after")?);
             }
-            "--quiet" => options.quiet = true,
-            other if other.starts_with('-') => {
+            Some("--threads") => options.threads = Some(numeric_value(&mut iter, "--threads")?),
+            Some("--quiet") => options.quiet = true,
+            Some(other) if other.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown option '{other}'")));
             }
-            positional => {
-                if target.replace(PathBuf::from(positional)).is_some() {
+            // Positional arguments (including non-UTF-8 file names) become
+            // the target path, losslessly.
+            _ => {
+                if target.replace(PathBuf::from(arg)).is_some() {
                     return Err(CliError::Usage(format!(
-                        "more than one {what} given ('{positional}')"
+                        "more than one {what} given ('{}')",
+                        arg.to_string_lossy()
                     )));
                 }
             }
@@ -188,7 +247,7 @@ fn read_spec_file(path: &Path) -> Result<RunSpec, CliError> {
     RunSpec::from_text(&text).map_err(|err| CliError::failed(format!("{}: {err}", path.display())))
 }
 
-fn command_run(args: &[String]) -> Result<(), CliError> {
+fn command_run(args: &[OsString]) -> Result<(), CliError> {
     let options = parse_options(args, "spec file")?;
     let spec = read_spec_file(&options.target)?;
     let problem = AnyProblem::from_spec(&spec.problem).map_err(CliError::failed)?;
@@ -227,7 +286,7 @@ fn describe_executor(executor: &Executor) -> String {
     }
 }
 
-fn command_resume(args: &[String]) -> Result<(), CliError> {
+fn command_resume(args: &[OsString]) -> Result<(), CliError> {
     let options = parse_options(args, "checkpoint file")?;
     let stored = CheckpointStore::load(&options.target)
         .map_err(|err| CliError::failed(format!("{}: {err}", options.target.display())))?;
@@ -450,34 +509,138 @@ fn print_front_summary(front: &[Individual]) {
     }
 }
 
-/// Writes a front bit-exactly: one line per solution, every `f64` rendered
-/// as its IEEE-754 bits in hex, so two fronts are equal iff the files are
-/// byte-identical. The cross-process resume test relies on this.
-fn write_front_file(path: &Path, front: &[Individual]) -> std::io::Result<()> {
-    use std::io::Write;
-    let mut out = String::with_capacity(front.len() * 64 + 32);
-    out.push_str("pathway-front v1\n");
-    for individual in front {
-        let hex = |values: &[f64]| {
-            values
-                .iter()
-                .map(|v| format!("{:016x}", v.to_bits()))
-                .collect::<Vec<_>>()
-                .join(",")
-        };
-        out.push_str(&format!(
-            "x={} f={} c={:016x}\n",
-            hex(&individual.variables),
-            hex(&individual.objectives),
-            individual.violation.to_bits()
+/// Runs every incomplete cell of a grid sweep on one shared executor,
+/// appending completed cells to the durable ledger under `--out-dir`.
+fn command_sweep(args: &[OsString]) -> Result<(), CliError> {
+    let options = parse_options(args, "sweep file")?;
+    if options.checkpoint_dir.is_some()
+        || options.spec_override.is_some()
+        || options.front_out.is_some()
+    {
+        return Err(CliError::Usage(
+            "sweep manages its own checkpoints and fronts under --out-dir; \
+             --checkpoint-dir/--spec/--front-out do not apply"
+                .to_string(),
         ));
     }
-    let mut file = std::fs::File::create(path)?;
-    file.write_all(out.as_bytes())?;
-    file.sync_all()
+    let text = std::fs::read_to_string(&options.target).map_err(|err| {
+        CliError::failed(format!("cannot read {}: {err}", options.target.display()))
+    })?;
+    let sweep = SweepSpec::from_text(&text)
+        .map_err(|err| CliError::failed(format!("{}: {err}", options.target.display())))?;
+    let out_dir = options.out_dir.clone().unwrap_or_else(|| {
+        let mut dir = options.target.clone();
+        dir.set_extension("results");
+        dir
+    });
+    let executor = options.executor(&sweep.template);
+    println!(
+        "sweep: {} axes, {} cells (hash {:#018x}, {})",
+        sweep.axes.len(),
+        sweep.cell_count(),
+        sweep.content_hash(),
+        describe_executor(&executor)
+    );
+    for axis in &sweep.axes {
+        println!("  axis {} = {}", axis.field, axis.values.join(" | "));
+    }
+    let quiet = options.quiet;
+    let mut print_event = |event: SweepEvent<'_>| {
+        if quiet {
+            return;
+        }
+        match event {
+            SweepEvent::CellSkipped { cell } => {
+                println!("[{}] skip (already in the ledger)", cell.label());
+            }
+            SweepEvent::CellStarted { cell, resumed_from } => match resumed_from {
+                Some(generation) => println!(
+                    "[{}] resume from generation {generation} ({})",
+                    cell.label(),
+                    cell.coordinates_string()
+                ),
+                None => println!("[{}] run ({})", cell.label(), cell.coordinates_string()),
+            },
+            SweepEvent::CellCompleted { cell, row } => {
+                println!(
+                    "[{}] done: {} generations, {} evaluations, front {}, hv {}",
+                    cell.label(),
+                    row.generations,
+                    row.evaluations,
+                    row.front_size,
+                    row.hypervolume
+                        .map_or_else(|| "-".to_string(), |hv| format!("{hv:.6e}"))
+                );
+            }
+            SweepEvent::SweepInterrupted { cell, generation } => {
+                println!(
+                    "[{}] interrupted at generation {generation} (checkpointed)",
+                    cell.label()
+                );
+            }
+        }
+    };
+    let report = run_sweep(
+        &sweep,
+        &out_dir,
+        executor,
+        options.stop_after,
+        &mut print_event,
+    )
+    .map_err(CliError::failed)?;
+    print_sweep_report(&report, options.stop_after);
+    Ok(())
 }
 
-fn command_inspect(args: &[String]) -> Result<(), CliError> {
+fn print_sweep_report(report: &SweepReport, stop_after: Option<usize>) {
+    println!(
+        "sweep: {}/{} cells in the ledger ({} completed now, {} skipped)",
+        report.rows_total, report.cells, report.completed, report.skipped
+    );
+    println!("ledger: {}", report.ledger_path.display());
+    println!("        {}", report.json_path.display());
+    if let Some(cell) = report.interrupted {
+        let limit = stop_after.unwrap_or(0);
+        println!("stopped early by --stop-after {limit} in cell {cell}; resume with:");
+        println!("    pathway sweep <same sweep file and --out-dir>");
+    }
+}
+
+/// Validates a `BENCH_sweep.json` against the ledger schema, listing every
+/// problem found. CI runs this on freshly emitted and committed ledgers.
+fn command_ledger_check(args: &[OsString]) -> Result<(), CliError> {
+    let [path] = args else {
+        return Err(CliError::Usage(
+            "ledger-check takes exactly one BENCH_sweep.json argument".to_string(),
+        ));
+    };
+    let path = Path::new(path);
+    let text = std::fs::read_to_string(path)
+        .map_err(|err| CliError::failed(format!("cannot read {}: {err}", path.display())))?;
+    match validate_bench_json(&text) {
+        Ok(check) => {
+            println!(
+                "{}: valid sweep ledger (sweep {}, {}/{} cells complete)",
+                path.display(),
+                check.sweep_hash,
+                check.cells_complete,
+                check.cells_total
+            );
+            Ok(())
+        }
+        Err(problems) => {
+            for problem in &problems {
+                eprintln!("{}: {problem}", path.display());
+            }
+            Err(CliError::failed(format!(
+                "{} ledger schema violation(s)",
+                problems.len()
+            )))
+        }
+    }
+}
+
+fn command_inspect(args: &[OsString]) -> Result<(), CliError> {
     let [path] = args else {
         return Err(CliError::Usage(
             "inspect takes exactly one file argument".to_string(),
@@ -498,9 +661,32 @@ fn command_inspect(args: &[String]) -> Result<(), CliError> {
             path.display()
         ))
     })?;
+    if is_sweep_text(&text) {
+        let sweep = SweepSpec::from_text(&text)
+            .map_err(|err| CliError::failed(format!("{}: {err}", path.display())))?;
+        inspect_sweep(path, &sweep);
+        return Ok(());
+    }
     let spec = RunSpec::from_text(&text)
         .map_err(|err| CliError::failed(format!("{}: {err}", path.display())))?;
     inspect_spec(path, &spec)
+}
+
+fn inspect_sweep(path: &Path, sweep: &SweepSpec) {
+    println!("{}: valid pathway sweep", path.display());
+    println!("  content hash: {:#018x}", sweep.content_hash());
+    println!("  cells:        {}", sweep.cell_count());
+    for axis in &sweep.axes {
+        println!(
+            "  axis:         {} = {}",
+            axis.field,
+            axis.values.join(" | ")
+        );
+    }
+    println!("  canonical form:");
+    for line in sweep.to_text().lines() {
+        println!("    {line}");
+    }
 }
 
 fn inspect_checkpoint(path: &Path, stored: &StoredCheckpoint) {
@@ -543,7 +729,7 @@ fn inspect_spec(path: &Path, spec: &RunSpec) -> Result<(), CliError> {
     Ok(())
 }
 
-fn command_list_problems(args: &[String]) -> Result<(), CliError> {
+fn command_list_problems(args: &[OsString]) -> Result<(), CliError> {
     if !args.is_empty() {
         return Err(CliError::Usage(
             "list-problems takes no arguments".to_string(),

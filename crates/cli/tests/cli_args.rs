@@ -1,0 +1,149 @@
+//! Argument-parsing regression tests.
+//!
+//! The CLI once routed every flag value through `PathBuf` →
+//! `to_string_lossy`, which mangled non-UTF-8 numeric arguments into
+//! U+FFFD soup before parsing (yielding a confusing "needs a number, got
+//! '1�'" at best) and would have panicked outright in `env::args()` before
+//! parsing even started. These tests pin the fixed behavior: numeric flags
+//! reject malformed and non-UTF-8 values explicitly with exit code 2,
+//! while path-valued arguments pass through byte-for-byte.
+
+use std::ffi::OsString;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn pathway() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pathway"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pathway-args-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn write_tiny_spec(dir: &Path) -> PathBuf {
+    let path = dir.join("tiny.spec");
+    std::fs::write(
+        &path,
+        "pathway-spec v1\n\n[problem]\nname = schaffer\n\n\
+         [optimizer]\nkind = nsga2\npopulation = 8\n\n\
+         [run]\nseed = 5\n\n[stop]\nmax_generations = 2\n",
+    )
+    .expect("write spec");
+    path
+}
+
+fn usage_error(output: &Output) -> String {
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "expected a usage error (exit 2), stderr:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn malformed_numeric_flags_fail_loudly() {
+    for (flag, value) in [
+        ("--stop-after", "12abc"),
+        ("--stop-after", ""),
+        ("--threads", "two"),
+        ("--threads", "-3"),
+    ] {
+        let output = pathway()
+            .args(["run", "whatever.spec", flag, value])
+            .output()
+            .expect("spawn pathway");
+        let stderr = usage_error(&output);
+        assert!(
+            stderr.contains(flag) && stderr.contains("needs a number"),
+            "{flag} {value:?}: {stderr}"
+        );
+        assert!(stderr.contains(value), "{flag} {value:?}: {stderr}");
+    }
+}
+
+#[test]
+fn numeric_flags_missing_their_value_fail_loudly() {
+    for flag in ["--stop-after", "--threads"] {
+        let output = pathway()
+            .args(["run", "whatever.spec", flag])
+            .output()
+            .expect("spawn pathway");
+        let stderr = usage_error(&output);
+        assert!(stderr.contains("needs a value"), "{flag}: {stderr}");
+    }
+}
+
+#[cfg(unix)]
+#[test]
+fn non_utf8_numeric_values_are_rejected_not_mangled() {
+    use std::os::unix::ffi::OsStringExt;
+    // b"12\xFF" lossily converts to "12\u{FFFD}" — the old code parsed
+    // that (and failed with a garbled message); the fix must name the flag
+    // and call out the encoding explicitly.
+    let bad = OsString::from_vec(b"12\xFF".to_vec());
+    for flag in ["--stop-after", "--threads"] {
+        let output = pathway()
+            .args([OsString::from("run"), OsString::from("whatever.spec")])
+            .arg(flag)
+            .arg(&bad)
+            .output()
+            .expect("spawn pathway");
+        let stderr = usage_error(&output);
+        assert!(
+            stderr.contains(flag) && stderr.contains("non-UTF-8"),
+            "{flag}: {stderr}"
+        );
+    }
+}
+
+#[cfg(unix)]
+#[test]
+fn non_utf8_paths_pass_through_byte_for_byte() {
+    use std::os::unix::ffi::OsStringExt;
+    let dir = temp_dir("bytes");
+    let spec = write_tiny_spec(&dir);
+    // A front-out path with a non-UTF-8 byte in its file name: the CLI
+    // must create exactly this file, not a lossily renamed one.
+    let mut raw = dir.clone().into_os_string().into_vec();
+    raw.extend_from_slice(b"/fr\xF6nt.out");
+    let front_out = PathBuf::from(OsString::from_vec(raw));
+    let output = pathway()
+        .arg("run")
+        .arg(&spec)
+        .args(["--checkpoint-dir"])
+        .arg(dir.join("ckpt"))
+        .arg("--front-out")
+        .arg(&front_out)
+        .arg("--quiet")
+        .output()
+        .expect("spawn pathway");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        front_out.exists(),
+        "front file was not written at the byte-exact path"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[cfg(unix)]
+#[test]
+fn non_utf8_commands_report_a_usage_error_instead_of_panicking() {
+    use std::os::unix::ffi::OsStringExt;
+    // `env::args()` would have panicked before dispatch ever saw this.
+    let output = pathway()
+        .arg(OsString::from_vec(b"r\xFFn".to_vec()))
+        .output()
+        .expect("spawn pathway");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+}

@@ -308,3 +308,185 @@ fn parse_errors_report_file_and_line() {
     assert!(stderr.contains("quantum"), "{stderr}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------------
+// Grid sweeps: kill mid-grid, resume only the incomplete cells, and land on
+// fronts byte-identical to an uninterrupted sweep — with completed cells
+// never re-run (their ledger bytes stay a strict prefix).
+// ---------------------------------------------------------------------------
+
+fn write_sweep(dir: &Path) -> PathBuf {
+    let text = "pathway-sweep v1\n\n\
+        [sweep]\nproblem.name = schaffer | zdt1\nrun.seed = 1 | 2\n\n\
+        [problem]\nname = schaffer\n\n\
+        [optimizer]\nkind = nsga2\npopulation = 16\n\n\
+        [run]\nseed = 1\ncheckpoint_every = 2\nreference_point = 25, 25\n\n\
+        [stop]\nmax_generations = 6\n";
+    let path = dir.join("grid.sweep");
+    std::fs::write(&path, text).expect("write sweep");
+    path
+}
+
+#[test]
+fn sweep_kill_and_resume_is_bit_identical_and_skips_completed_cells() {
+    let dir = temp_dir("sweep");
+    let sweep = write_sweep(&dir);
+    let sweep = sweep.to_str().unwrap();
+
+    // Uninterrupted sweep: 4 cells x 6 generations.
+    let full = dir.join("full");
+    run_ok(&[
+        "sweep",
+        sweep,
+        "--out-dir",
+        full.to_str().unwrap(),
+        "--quiet",
+    ]);
+
+    // The same sweep, killed 9 generations in: cell 0 completes (6), cell 1
+    // is interrupted at generation 3 with a checkpoint.
+    let split = dir.join("split");
+    let output = run_ok(&[
+        "sweep",
+        sweep,
+        "--out-dir",
+        split.to_str().unwrap(),
+        "--stop-after",
+        "9",
+    ]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("interrupted"), "{stdout}");
+    let ledger_after_kill = std::fs::read(split.join("ledger.md")).expect("ledger exists");
+
+    // Resume in a fresh process: completed cells are skipped, the
+    // interrupted cell continues from its checkpoint.
+    let output = run_ok(&["sweep", sweep, "--out-dir", split.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("[cell-0000] skip"), "{stdout}");
+    assert!(stdout.contains("resume from generation 3"), "{stdout}");
+
+    // Every front is byte-identical to the uninterrupted sweep's.
+    for cell in 0..4 {
+        assert_identical(
+            &full.join(format!("fronts/cell-000{cell}.front")),
+            &split.join(format!("fronts/cell-000{cell}.front")),
+        );
+    }
+
+    // Completed cells were not re-run: the ledger is append-only, so the
+    // bytes written before the kill are a strict prefix of the resumed
+    // ledger (a re-run would have rewritten or duplicated cell 0's row).
+    let ledger_after_resume = std::fs::read(split.join("ledger.md")).unwrap();
+    assert!(
+        ledger_after_resume.starts_with(&ledger_after_kill),
+        "resume rewrote earlier ledger bytes"
+    );
+    assert!(ledger_after_resume.len() > ledger_after_kill.len());
+    let text = String::from_utf8_lossy(&ledger_after_resume);
+    assert_eq!(
+        text.lines()
+            .filter(|line| line.starts_with("| 000"))
+            .count(),
+        4,
+        "expected exactly one row per cell:\n{text}"
+    );
+
+    // A third pass over a complete ledger runs nothing and changes nothing.
+    let before = std::fs::read(split.join("BENCH_sweep.json")).unwrap();
+    let output = run_ok(&[
+        "sweep",
+        sweep,
+        "--out-dir",
+        split.to_str().unwrap(),
+        "--quiet",
+    ]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("0 completed now, 4 skipped"), "{stdout}");
+    assert_eq!(
+        before,
+        std::fs::read(split.join("BENCH_sweep.json")).unwrap()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_under_a_thread_pool_is_bit_identical_to_serial() {
+    let dir = temp_dir("sweep-pool");
+    let sweep = write_sweep(&dir);
+    let sweep = sweep.to_str().unwrap();
+    let serial = dir.join("serial");
+    let pooled = dir.join("pooled");
+    run_ok(&[
+        "sweep",
+        sweep,
+        "--out-dir",
+        serial.to_str().unwrap(),
+        "--quiet",
+    ]);
+    run_ok(&[
+        "sweep",
+        sweep,
+        "--out-dir",
+        pooled.to_str().unwrap(),
+        "--threads",
+        "2",
+        "--quiet",
+    ]);
+    for cell in 0..4 {
+        assert_identical(
+            &serial.join(format!("fronts/cell-000{cell}.front")),
+            &pooled.join(format!("fronts/cell-000{cell}.front")),
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ledger_check_validates_and_rejects() {
+    let dir = temp_dir("ledger-check");
+    let sweep = write_sweep(&dir);
+    let out = dir.join("out");
+    // Even an immediately interrupted sweep leaves a valid all-placeholder
+    // ledger behind.
+    run_ok(&[
+        "sweep",
+        sweep.to_str().unwrap(),
+        "--out-dir",
+        out.to_str().unwrap(),
+        "--stop-after",
+        "0",
+        "--quiet",
+    ]);
+    let json = out.join("BENCH_sweep.json");
+    let output = run_ok(&["ledger-check", json.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("valid sweep ledger"), "{stdout}");
+    assert!(stdout.contains("0/4 cells complete"), "{stdout}");
+
+    // Drift the format tag: ledger-check must fail with exit 1 and say why.
+    let text = std::fs::read_to_string(&json).unwrap();
+    std::fs::write(&json, text.replace("pathway-bench-sweep", "renamed")).unwrap();
+    let output = pathway()
+        .args(["ledger-check", json.to_str().unwrap()])
+        .output()
+        .expect("spawn pathway");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("'format'"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn inspect_describes_sweeps() {
+    let dir = temp_dir("inspect-sweep");
+    let sweep = write_sweep(&dir);
+    let output = run_ok(&["inspect", sweep.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("valid pathway sweep"), "{stdout}");
+    assert!(stdout.contains("cells:        4"), "{stdout}");
+    assert!(
+        stdout.contains("problem.name = schaffer | zdt1"),
+        "{stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,461 @@
+//! A small, dependency-free JSON value type with a parser and pretty
+//! printer.
+//!
+//! The workspace vendors no serialization crates, but the sweep ledger
+//! (`BENCH_sweep.json`) has to be machine-readable by ordinary tooling —
+//! so this module hand-rolls the minimum: an ordered [`JsonValue`] tree, a
+//! recursive-descent parser for standard JSON, and a deterministic
+//! two-space pretty printer. Object keys keep their insertion order, which
+//! makes emitted ledgers stable byte-for-byte across runs of the same data.
+
+use std::fmt;
+
+/// A parsed or constructed JSON value. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number that parsed as (and round-trips as) an integer.
+    Int(i64),
+    /// Any other finite number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, as ordered key/value pairs.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup; `None` on non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields
+                .iter()
+                .find(|(name, _)| name == key)
+                .map(|(_, value)| value),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(text) => Some(text),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload widened to `f64` (integers included).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(value) => Some(*value as f64),
+            JsonValue::Number(value) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(value) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True when this value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+
+    /// Parses a JSON document. Trailing non-whitespace is an error.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] with a byte offset and message.
+    pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+        let bytes = text.as_bytes();
+        let mut at = 0usize;
+        let value = parse_value(bytes, &mut at)?;
+        skip_ws(bytes, &mut at);
+        if at != bytes.len() {
+            return Err(JsonError::at(at, "trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    /// Renders the value as pretty-printed JSON (two-space indent, `\n`
+    /// line endings, trailing newline).
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, 0);
+        out.push('\n');
+        out
+    }
+}
+
+/// A JSON parse failure: where (byte offset) and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl JsonError {
+    fn at(offset: usize, message: impl Into<String>) -> Self {
+        JsonError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn skip_ws(bytes: &[u8], at: &mut usize) {
+    while *at < bytes.len() && matches!(bytes[*at], b' ' | b'\t' | b'\n' | b'\r') {
+        *at += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], at: &mut usize) -> Result<JsonValue, JsonError> {
+    skip_ws(bytes, at);
+    match bytes.get(*at) {
+        None => Err(JsonError::at(*at, "unexpected end of input")),
+        Some(b'{') => parse_object(bytes, at),
+        Some(b'[') => parse_array(bytes, at),
+        Some(b'"') => Ok(JsonValue::String(parse_string(bytes, at)?)),
+        Some(b't') => parse_literal(bytes, at, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, at, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, at, "null", JsonValue::Null),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, at),
+        Some(&other) => Err(JsonError::at(
+            *at,
+            format!("unexpected character '{}'", other as char),
+        )),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    at: &mut usize,
+    literal: &str,
+    value: JsonValue,
+) -> Result<JsonValue, JsonError> {
+    if bytes[*at..].starts_with(literal.as_bytes()) {
+        *at += literal.len();
+        Ok(value)
+    } else {
+        Err(JsonError::at(*at, format!("expected '{literal}'")))
+    }
+}
+
+fn parse_number(bytes: &[u8], at: &mut usize) -> Result<JsonValue, JsonError> {
+    let start = *at;
+    while *at < bytes.len() && matches!(bytes[*at], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+    {
+        *at += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*at]).expect("ascii number bytes");
+    let is_integral = !text.contains(['.', 'e', 'E']);
+    if is_integral {
+        if let Ok(value) = text.parse::<i64>() {
+            return Ok(JsonValue::Int(value));
+        }
+    }
+    match text.parse::<f64>() {
+        Ok(value) if value.is_finite() => Ok(JsonValue::Number(value)),
+        _ => Err(JsonError::at(start, format!("invalid number '{text}'"))),
+    }
+}
+
+fn parse_string(bytes: &[u8], at: &mut usize) -> Result<String, JsonError> {
+    debug_assert_eq!(bytes[*at], b'"');
+    *at += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*at) {
+            None => return Err(JsonError::at(*at, "unterminated string")),
+            Some(b'"') => {
+                *at += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *at += 1;
+                let escape = bytes
+                    .get(*at)
+                    .ok_or_else(|| JsonError::at(*at, "unterminated escape"))?;
+                *at += 1;
+                match escape {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000C}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let first = parse_hex4(bytes, at)?;
+                        let scalar = if (0xD800..0xDC00).contains(&first) {
+                            // High surrogate: a \uXXXX low surrogate must follow.
+                            if bytes.get(*at) == Some(&b'\\') && bytes.get(*at + 1) == Some(&b'u') {
+                                *at += 2;
+                                let second = parse_hex4(bytes, at)?;
+                                if !(0xDC00..0xE000).contains(&second) {
+                                    return Err(JsonError::at(*at, "invalid low surrogate"));
+                                }
+                                0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                            } else {
+                                return Err(JsonError::at(*at, "unpaired surrogate"));
+                            }
+                        } else {
+                            first
+                        };
+                        let ch = char::from_u32(scalar)
+                            .ok_or_else(|| JsonError::at(*at, "invalid unicode escape"))?;
+                        out.push(ch);
+                    }
+                    other => {
+                        return Err(JsonError::at(
+                            *at,
+                            format!("invalid escape '\\{}'", *other as char),
+                        ))
+                    }
+                }
+            }
+            Some(&byte) if byte < 0x20 => {
+                return Err(JsonError::at(*at, "unescaped control character"));
+            }
+            Some(_) => {
+                // Consume one full UTF-8 scalar from the source.
+                let text = std::str::from_utf8(&bytes[*at..])
+                    .map_err(|_| JsonError::at(*at, "invalid UTF-8"))?;
+                let ch = text.chars().next().expect("non-empty UTF-8 tail");
+                out.push(ch);
+                *at += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], at: &mut usize) -> Result<u32, JsonError> {
+    let hex = bytes
+        .get(*at..*at + 4)
+        .ok_or_else(|| JsonError::at(*at, "truncated \\u escape"))?;
+    let text = std::str::from_utf8(hex).map_err(|_| JsonError::at(*at, "invalid \\u escape"))?;
+    let value = u32::from_str_radix(text, 16)
+        .map_err(|_| JsonError::at(*at, format!("invalid \\u escape '{text}'")))?;
+    *at += 4;
+    Ok(value)
+}
+
+fn parse_array(bytes: &[u8], at: &mut usize) -> Result<JsonValue, JsonError> {
+    *at += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, at);
+    if bytes.get(*at) == Some(&b']') {
+        *at += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, at)?);
+        skip_ws(bytes, at);
+        match bytes.get(*at) {
+            Some(b',') => {
+                *at += 1;
+            }
+            Some(b']') => {
+                *at += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(JsonError::at(*at, "expected ',' or ']' in array")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], at: &mut usize) -> Result<JsonValue, JsonError> {
+    *at += 1; // '{'
+    let mut fields = Vec::new();
+    skip_ws(bytes, at);
+    if bytes.get(*at) == Some(&b'}') {
+        *at += 1;
+        return Ok(JsonValue::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, at);
+        if bytes.get(*at) != Some(&b'"') {
+            return Err(JsonError::at(*at, "expected a string object key"));
+        }
+        let key = parse_string(bytes, at)?;
+        skip_ws(bytes, at);
+        if bytes.get(*at) != Some(&b':') {
+            return Err(JsonError::at(*at, "expected ':' after object key"));
+        }
+        *at += 1;
+        let value = parse_value(bytes, at)?;
+        fields.push((key, value));
+        skip_ws(bytes, at);
+        match bytes.get(*at) {
+            Some(b',') => {
+                *at += 1;
+            }
+            Some(b'}') => {
+                *at += 1;
+                return Ok(JsonValue::Object(fields));
+            }
+            _ => return Err(JsonError::at(*at, "expected ',' or '}' in object")),
+        }
+    }
+}
+
+fn write_value(out: &mut String, value: &JsonValue, indent: usize) {
+    match value {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(true) => out.push_str("true"),
+        JsonValue::Bool(false) => out.push_str("false"),
+        JsonValue::Int(number) => out.push_str(&number.to_string()),
+        // `{:?}` prints the shortest decimal that round-trips the f64
+        // exactly — ledger metrics survive a parse/print cycle bit-for-bit.
+        JsonValue::Number(number) => out.push_str(&format!("{number:?}")),
+        JsonValue::String(text) => write_string(out, text),
+        JsonValue::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (position, item) in items.iter().enumerate() {
+                if position > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_value(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        JsonValue::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (position, (key, item)) in fields.iter().enumerate() {
+                if position > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_string(out, key);
+                out.push_str(": ");
+                write_value(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_string(out: &mut String, text: &str) {
+    out.push('"');
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            ch if (ch as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", ch as u32)),
+            ch => out.push(ch),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_reprints_a_document() {
+        let text = r#"{"a": 1, "b": [true, null, -2.5], "c": {"d": "x\ny"}}"#;
+        let value = JsonValue::parse(text).unwrap();
+        assert_eq!(value.get("a").and_then(JsonValue::as_i64), Some(1));
+        assert_eq!(value.get("b").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            value.get("c").unwrap().get("d").and_then(JsonValue::as_str),
+            Some("x\ny")
+        );
+        // print -> parse is the identity.
+        let reparsed = JsonValue::parse(&value.to_pretty()).unwrap();
+        assert_eq!(value, reparsed);
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly() {
+        let original = JsonValue::Object(vec![
+            ("int".to_string(), JsonValue::Int(i64::MAX)),
+            ("hv".to_string(), JsonValue::Number(0.1 + 0.2)),
+            ("tiny".to_string(), JsonValue::Number(5e-324)),
+        ]);
+        let reparsed = JsonValue::parse(&original.to_pretty()).unwrap();
+        assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let tricky = "quote\" slash\\ newline\n tab\t unicode \u{1F600} control\u{0001}";
+        let value = JsonValue::String(tricky.to_string());
+        let reparsed = JsonValue::parse(&value.to_pretty()).unwrap();
+        assert_eq!(reparsed.as_str(), Some(tricky));
+        // Surrogate-pair escapes parse too.
+        let emoji = JsonValue::parse(r#""😀""#).unwrap();
+        assert_eq!(emoji.as_str(), Some("\u{1F600}"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\": 1,}",
+            "[1e999]",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

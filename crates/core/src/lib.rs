@@ -43,7 +43,9 @@ mod registry;
 mod report;
 mod study;
 
+pub mod jsonlite;
 pub mod prelude;
+pub mod sweep;
 
 pub use design::{
     GeobacterOutcome, GeobacterStudy, LeafDesign, LeafDesignOutcome, LeafDesignStudy,

@@ -51,6 +51,7 @@ mod spec;
 mod state;
 mod stopping;
 mod store;
+mod sweep;
 
 pub use driver::{Driver, RunCheckpoint};
 pub use observer::{
@@ -66,6 +67,7 @@ pub use store::{
     decode_checkpoint, encode_checkpoint, read_checkpoint_file, write_checkpoint_file,
     CheckpointError, CheckpointRetention, CheckpointStore, StoredCheckpoint,
 };
+pub use sweep::{is_sweep_text, SweepAxis, SweepCell, SweepSpec, MAX_SWEEP_CELLS, SWEEP_HEADER};
 
 use crate::{Individual, MultiObjectiveProblem};
 

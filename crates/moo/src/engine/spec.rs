@@ -99,7 +99,7 @@ pub enum SpecError {
 }
 
 impl SpecError {
-    fn parse(line: usize, message: impl Into<String>) -> Self {
+    pub(crate) fn parse(line: usize, message: impl Into<String>) -> Self {
         SpecError::Parse {
             line,
             message: message.into(),
@@ -757,7 +757,7 @@ struct Document {
     sections: Vec<(String, Vec<Entry>)>,
 }
 
-const KNOWN_SECTIONS: [&str; 5] = ["problem", "optimizer", "run", "stop", "observe"];
+pub(crate) const KNOWN_SECTIONS: [&str; 5] = ["problem", "optimizer", "run", "stop", "observe"];
 
 impl Document {
     fn parse(text: &str) -> Result<Self, SpecError> {
@@ -853,7 +853,7 @@ impl Document {
     }
 }
 
-fn strip_comment(line: &str) -> &str {
+pub(crate) fn strip_comment(line: &str) -> &str {
     match line.find('#') {
         Some(at) => &line[..at],
         None => line,

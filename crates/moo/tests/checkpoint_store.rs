@@ -333,3 +333,85 @@ fn default_store_keeps_everything_and_spec_retention_is_wired_through() {
     assert_eq!(stored_generations(&store), vec![10]);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn latest_orders_generations_numerically_not_lexically() {
+    // "gen-9.ckpt" > "gen-100.ckpt" as strings; a lexical `latest` would
+    // resume a sweep cell from the wrong (older) generation. Guard the
+    // numeric comparison with generations spanning one, two and three
+    // digits.
+    let dir = std::env::temp_dir().join(format!("pathway-latest-num-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::create(&dir, &fixture_spec()).unwrap();
+    for generation in [2, 9, 10, 11, 100] {
+        save_generation(&store, generation);
+    }
+    let latest = store.latest().unwrap().expect("five checkpoints on disk");
+    assert_eq!(
+        latest.file_name().and_then(|name| name.to_str()),
+        Some("gen-100.ckpt"),
+        "latest() picked {} — lexical ordering?",
+        latest.display()
+    );
+    assert_eq!(CheckpointStore::generation_of(&latest), Some(100));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn latest_and_prune_ignore_stray_files() {
+    // Sweeps multiply checkpoint directories; editors, rsync and notes
+    // drop stray files into them. None of those may be picked as "latest"
+    // and none may be deleted by retention pruning.
+    let dir = std::env::temp_dir().join(format!("pathway-stray-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut spec = fixture_spec();
+    spec.retention = Some(CheckpointRetention {
+        keep_last: 2,
+        keep_every: 10,
+    });
+    let store = CheckpointStore::create(&dir, &spec).unwrap();
+    let strays = [
+        "notes.txt",        // unrelated file
+        "gen-x.ckpt",       // unparsable generation
+        "gen-999.ckpt.tmp", // a leftover atomic-write temp file
+        "zzz-gen-5.ckpt",   // lexically after every real checkpoint
+    ];
+    for stray in strays {
+        std::fs::write(dir.join(stray), b"not a checkpoint").unwrap();
+    }
+    for generation in 1..=12 {
+        save_generation(&store, generation);
+    }
+    // Retention kept the newest two (11, 12) and the every-10th (10);
+    // every stray survived the pruning that deleted 1..=9.
+    assert_eq!(stored_generations(&store), vec![10, 11, 12]);
+    for stray in strays {
+        assert!(dir.join(stray).exists(), "prune deleted stray '{stray}'");
+    }
+    let latest = store.latest().unwrap().expect("checkpoints on disk");
+    assert_eq!(
+        latest.file_name().and_then(|name| name.to_str()),
+        Some("gen-12.ckpt")
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn two_digit_generations_resume_from_the_true_newest() {
+    // keep_last = 1 across the 9 -> 10 digit-count boundary: the numeric
+    // rank must keep gen-10 and drop gen-9, not the other way around.
+    let dir = std::env::temp_dir().join(format!("pathway-digits-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut spec = fixture_spec();
+    spec.retention = Some(CheckpointRetention {
+        keep_last: 1,
+        keep_every: 0,
+    });
+    let store = CheckpointStore::create(&dir, &spec).unwrap();
+    save_generation(&store, 9);
+    save_generation(&store, 10);
+    assert_eq!(stored_generations(&store), vec![10]);
+    let stored = CheckpointStore::load(&store.latest().unwrap().unwrap()).unwrap();
+    assert_eq!(stored.generation(), 10);
+    std::fs::remove_dir_all(&dir).ok();
+}
