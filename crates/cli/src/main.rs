@@ -12,7 +12,17 @@
 //! pathway inspect examples/quickstart.spec      # validate + show canonical form
 //! pathway inspect checkpoints/gen-50.ckpt       # show checkpoint header + spec
 //! pathway list-problems                         # the problem registry
+//! pathway serve studies/                        # multi-tenant study daemon
+//! pathway submit spec.spec --data-dir studies/  # schedule a job on the daemon
 //! ```
+//!
+//! The `serve` family (`serve`, `submit`, `status`, `watch`, `cancel`,
+//! `fetch-front`, `shutdown`) fronts the [`pathway_serve`] daemon: many
+//! concurrent studies on one shared evaluation pool, durable under
+//! `kill -9`, with per-generation telemetry streamed to any number of
+//! watchers. Client commands find the daemon via `--addr <host:port>` or
+//! `--data-dir <dir>` (which reads the address the daemon recorded in
+//! `<dir>/endpoint`).
 //!
 //! `run` streams per-generation telemetry through a
 //! [`ChannelObserver`] (the driver steps on a worker thread; this process's
@@ -48,6 +58,7 @@ use pathway_moo::engine::{
 };
 use pathway_moo::exec::Executor;
 use pathway_moo::{EvalBackend, Individual};
+use pathway_serve::{read_endpoint, Client, JobSummary, ServeConfig, Server, WatchEvent};
 
 const USAGE: &str = "\
 pathway — declarative driver for robust-pathway-design runs
@@ -60,6 +71,16 @@ USAGE:
     pathway ledger-check <BENCH_sweep.json> validate a sweep ledger's schema
     pathway inspect <file>                  describe a spec, sweep or checkpoint
     pathway list-problems                   show the problem registry
+
+    pathway serve <data-dir> [OPTIONS]      run the study daemon: concurrent
+                                            jobs on one shared pool, durable
+                                            under kill -9
+    pathway submit <spec-file> [TARGET]     schedule a run or sweep on a daemon
+    pathway status [TARGET]                 daemon jobs + executor health
+    pathway watch <job> [TARGET]            stream a job's telemetry
+    pathway cancel <job> [TARGET]           cancel a job
+    pathway fetch-front <job> [TARGET]      fetch a job's front (--out <file>)
+    pathway shutdown [TARGET]               checkpoint all jobs, stop the daemon
 
 OPTIONS (run / resume):
     --checkpoint-dir <dir>   where checkpoints are written
@@ -83,6 +104,21 @@ OPTIONS (sweep):
                              grid in this invocation; re-running the same
                              sweep resumes only its incomplete cells
     --threads <n> / --quiet  as above
+
+OPTIONS (serve):
+    --listen <addr>          bind address (default 127.0.0.1:7757; port 0
+                             picks a free port); the bound address is
+                             recorded in <data-dir>/endpoint
+    --threads <n>            shared evaluation pool width for all jobs
+                             (0 or 1 = serial; default serial)
+    --quiet                  no startup line
+
+TARGET (daemon client commands):
+    --addr <host:port>       daemon address, explicitly
+    --data-dir <dir>         read the address from <dir>/endpoint
+                             (exactly one of the two is required)
+    --out <file>             (fetch-front) write the front to <file>
+                             bit-exactly instead of stdout
 
 SPEC KEYS ([run] section) controlling checkpoint retention:
     checkpoint_keep_last = <k>    keep only the newest <k> checkpoints
@@ -132,6 +168,13 @@ fn dispatch(args: &[OsString]) -> Result<(), CliError> {
         Some("ledger-check") => command_ledger_check(&args[1..]),
         Some("inspect") => command_inspect(&args[1..]),
         Some("list-problems") => command_list_problems(&args[1..]),
+        Some("serve") => command_serve(&args[1..]),
+        Some("submit") => command_submit(&args[1..]),
+        Some("status") => command_status(&args[1..]),
+        Some("watch") => command_watch(&args[1..]),
+        Some("cancel") => command_cancel(&args[1..]),
+        Some("fetch-front") => command_fetch_front(&args[1..]),
+        Some("shutdown") => command_shutdown(&args[1..]),
         Some("--help" | "-h" | "help") => {
             println!("{USAGE}");
             Ok(())
@@ -344,7 +387,7 @@ struct RunResult {
 /// Drives a run to completion (or to `--stop-after`), streaming telemetry
 /// and writing periodic + final checkpoints.
 fn execute(
-    driver: Driver<'_, AnyProblem, AnyOptimizer>,
+    driver: Driver<&AnyProblem, AnyOptimizer>,
     spec: &RunSpec,
     store: &CheckpointStore,
     options: &Options,
@@ -434,7 +477,7 @@ fn execute(
 /// hiccup must neither kill the run nor disable the durability it exists
 /// to provide; the first error is carried in the result for the exit code.
 fn drive(
-    mut driver: Driver<'_, AnyProblem, AnyOptimizer>,
+    mut driver: Driver<&AnyProblem, AnyOptimizer>,
     spec: &RunSpec,
     store: &CheckpointStore,
     stop_after: Option<usize>,
@@ -742,5 +785,288 @@ fn command_list_problems(args: &[OsString]) -> Result<(), CliError> {
             println!("      {param:<14} {description}");
         }
     }
+    Ok(())
+}
+
+/// A string-valued flag (daemon addresses); must be valid UTF-8.
+fn string_value(iter: &mut std::slice::Iter<'_, OsString>, flag: &str) -> Result<String, CliError> {
+    let raw = iter
+        .next()
+        .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+    raw.to_str().map(str::to_string).ok_or_else(|| {
+        CliError::Usage(format!(
+            "{flag} needs UTF-8 text, got '{}'",
+            raw.to_string_lossy()
+        ))
+    })
+}
+
+/// Runs the study daemon over a data directory until a client shuts it
+/// down. Restart-safe: every job found under the data dir resumes from its
+/// latest checkpoint before the socket starts accepting.
+fn command_serve(args: &[OsString]) -> Result<(), CliError> {
+    let mut data_dir: Option<PathBuf> = None;
+    let mut listen = "127.0.0.1:7757".to_string();
+    let mut threads: Option<usize> = None;
+    let mut quiet = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.to_str() {
+            Some("--listen") => listen = string_value(&mut iter, "--listen")?,
+            Some("--threads") => threads = Some(numeric_value(&mut iter, "--threads")?),
+            Some("--quiet") => quiet = true,
+            Some(other) if other.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown option '{other}'")));
+            }
+            _ => {
+                if data_dir.replace(PathBuf::from(arg)).is_some() {
+                    return Err(CliError::Usage("more than one data dir given".to_string()));
+                }
+            }
+        }
+    }
+    let data_dir = data_dir.ok_or_else(|| CliError::Usage("missing data dir".to_string()))?;
+    let backend = match threads {
+        Some(threads) => EvalBackend::Threads(threads),
+        None => EvalBackend::Serial,
+    };
+    let server = Server::start(ServeConfig {
+        listen,
+        data_dir,
+        executor: Executor::shared(backend),
+        quiet,
+    })
+    .map_err(CliError::Failed)?;
+    server.join();
+    Ok(())
+}
+
+/// Where a client command should connect, from `--addr` / `--data-dir`.
+struct ClientTarget {
+    positional: Option<OsString>,
+    addr: Option<String>,
+    data_dir: Option<PathBuf>,
+    out: Option<PathBuf>,
+}
+
+/// Parses client-command arguments: at most one positional (the spec file
+/// or job id, when `what` names one) plus the TARGET flags.
+fn parse_client_target(args: &[OsString], what: Option<&str>) -> Result<ClientTarget, CliError> {
+    let mut target = ClientTarget {
+        positional: None,
+        addr: None,
+        data_dir: None,
+        out: None,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.to_str() {
+            Some("--addr") => target.addr = Some(string_value(&mut iter, "--addr")?),
+            Some("--data-dir") => target.data_dir = Some(path_value(&mut iter, "--data-dir")?),
+            Some("--out") => target.out = Some(path_value(&mut iter, "--out")?),
+            Some(other) if other.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown option '{other}'")));
+            }
+            _ => {
+                let Some(what) = what else {
+                    return Err(CliError::Usage(format!(
+                        "unexpected argument '{}'",
+                        arg.to_string_lossy()
+                    )));
+                };
+                if target.positional.replace(arg.clone()).is_some() {
+                    return Err(CliError::Usage(format!("more than one {what} given")));
+                }
+            }
+        }
+    }
+    Ok(target)
+}
+
+impl ClientTarget {
+    /// Opens the connection: `--addr` wins, otherwise the address is read
+    /// from the data dir's endpoint file.
+    fn connect(&self) -> Result<Client, CliError> {
+        let addr = match (&self.addr, &self.data_dir) {
+            (Some(addr), _) => addr.clone(),
+            (None, Some(dir)) => read_endpoint(dir).map_err(|err| {
+                CliError::failed(format!(
+                    "no daemon endpoint under {} ({err}); is `pathway serve` running?",
+                    dir.display()
+                ))
+            })?,
+            (None, None) => {
+                return Err(CliError::Usage(
+                    "daemon client commands need --addr <host:port> or --data-dir <dir>"
+                        .to_string(),
+                ))
+            }
+        };
+        Client::connect(&addr).map_err(CliError::failed)
+    }
+
+    /// The positional argument as a job id (UTF-8 demanded).
+    fn job_id(&self, what: &str) -> Result<String, CliError> {
+        let raw = self
+            .positional
+            .as_ref()
+            .ok_or_else(|| CliError::Usage(format!("missing {what}")))?;
+        raw.to_str().map(str::to_string).ok_or_else(|| {
+            CliError::Usage(format!(
+                "{what} must be UTF-8 text, got '{}'",
+                raw.to_string_lossy()
+            ))
+        })
+    }
+}
+
+fn print_job_row(job: &JobSummary) {
+    let budget = if job.max_generations > 0 {
+        format!("{}/{}", job.generation, job.max_generations)
+    } else {
+        format!("{}", job.generation)
+    };
+    println!(
+        "  {:<10} {:<10} {:<14} {:<12} gen {:>9}  evals {:>9}  front {:>4}  watchers {}",
+        job.id,
+        job.state.as_str(),
+        job.problem,
+        job.optimizer,
+        budget,
+        job.evaluations,
+        job.front_size,
+        job.watchers
+    );
+    if let Some(error) = &job.error {
+        println!("             error: {error}");
+    }
+}
+
+fn command_submit(args: &[OsString]) -> Result<(), CliError> {
+    let target = parse_client_target(args, Some("spec file"))?;
+    let path = target
+        .positional
+        .as_ref()
+        .map(PathBuf::from)
+        .ok_or_else(|| CliError::Usage("missing spec file".to_string()))?;
+    let text = std::fs::read_to_string(&path)
+        .map_err(|err| CliError::failed(format!("cannot read {}: {err}", path.display())))?;
+    let mut client = target.connect()?;
+    let jobs = client.submit(&text).map_err(CliError::failed)?;
+    println!(
+        "submitted {} job{} from {}:",
+        jobs.len(),
+        if jobs.len() == 1 { "" } else { "s" },
+        path.display()
+    );
+    for job in &jobs {
+        print_job_row(job);
+    }
+    Ok(())
+}
+
+fn command_status(args: &[OsString]) -> Result<(), CliError> {
+    let target = parse_client_target(args, None)?;
+    let mut client = target.connect()?;
+    let status = client.status().map_err(CliError::failed)?;
+    println!(
+        "executor: {} worker lane{}, {} queued chunk{}, {} active",
+        status.executor.workers,
+        if status.executor.workers == 1 {
+            ""
+        } else {
+            "s"
+        },
+        status.executor.queued_chunks,
+        if status.executor.queued_chunks == 1 {
+            ""
+        } else {
+            "s"
+        },
+        status.executor.active_workers
+    );
+    if status.jobs.is_empty() {
+        println!("no jobs");
+        return Ok(());
+    }
+    println!("jobs:");
+    for job in &status.jobs {
+        print_job_row(job);
+    }
+    Ok(())
+}
+
+fn command_watch(args: &[OsString]) -> Result<(), CliError> {
+    let target = parse_client_target(args, Some("job id"))?;
+    let job = target.job_id("job id")?;
+    let mut client = target.connect()?;
+    let end = client
+        .watch(&job, |event| {
+            if let WatchEvent::Generation {
+                generation,
+                evaluations,
+                front_size,
+                hypervolume,
+                ..
+            } = event
+            {
+                println!(
+                    "[{job} gen {generation:>6}] evals {evaluations:>9}  front {front_size:>4}  hv {}",
+                    if hypervolume.is_nan() {
+                        "-".to_string()
+                    } else {
+                        format!("{hypervolume:.6e}")
+                    }
+                );
+            }
+        })
+        .map_err(CliError::failed)?;
+    if let WatchEvent::End {
+        state, generation, ..
+    } = end
+    {
+        println!("{job}: {} at generation {generation}", state.as_str());
+    }
+    Ok(())
+}
+
+fn command_cancel(args: &[OsString]) -> Result<(), CliError> {
+    let target = parse_client_target(args, Some("job id"))?;
+    let job = target.job_id("job id")?;
+    let mut client = target.connect()?;
+    let summary = client.cancel(&job).map_err(CliError::failed)?;
+    print_job_row(&summary);
+    Ok(())
+}
+
+fn command_fetch_front(args: &[OsString]) -> Result<(), CliError> {
+    let target = parse_client_target(args, Some("job id"))?;
+    let job = target.job_id("job id")?;
+    let mut client = target.connect()?;
+    let (summary, front) = client.fetch_front(&job).map_err(CliError::failed)?;
+    match &target.out {
+        Some(path) => {
+            // Bit-exact: these are the same bytes `pathway run --front-out`
+            // would have written for the job's spec.
+            std::fs::write(path, &front)
+                .map_err(|err| CliError::failed(format!("{}: {err}", path.display())))?;
+            println!(
+                "front: {} ({} solutions, job {} {})",
+                path.display(),
+                summary.front_size,
+                summary.id,
+                summary.state.as_str()
+            );
+        }
+        None => print!("{front}"),
+    }
+    Ok(())
+}
+
+fn command_shutdown(args: &[OsString]) -> Result<(), CliError> {
+    let target = parse_client_target(args, None)?;
+    let mut client = target.connect()?;
+    client.shutdown().map_err(CliError::failed)?;
+    println!("daemon shut down (all running jobs checkpointed)");
     Ok(())
 }

@@ -1,0 +1,258 @@
+//! The daemon acceptance test, cross-process and kill-hardened.
+//!
+//! Three studies are submitted to one `pathway serve` daemon sharing a
+//! single evaluation executor. The daemon is throttled (via the
+//! `PATHWAY_SERVE_STEP_SLEEP_MS` test knob) so the test can observe it
+//! genuinely mid-flight, then killed with SIGKILL — no shutdown hook, no
+//! final checkpoint — and restarted. Every job must resume and finish with
+//! a front byte-identical to an uninterrupted `pathway run` of the same
+//! spec, proving the durability contract end to end. Along the way the
+//! test asserts the fairness contract (all three concurrent jobs progress
+//! in lockstep on a *serial* executor — strictly more jobs than worker
+//! threads) and exercises the client subcommands (`submit`, `status` via
+//! the library client, `fetch-front`, `shutdown`).
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output};
+use std::time::{Duration, Instant};
+
+use pathway_serve::{read_endpoint, Client, JobState};
+
+fn pathway() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pathway"))
+}
+
+fn run_ok(args: &[&str]) -> Output {
+    let output = pathway().args(args).output().expect("spawn pathway");
+    assert!(
+        output.status.success(),
+        "pathway {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pathway-serve-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Kills the daemon process on drop so a failing assertion never leaks a
+/// background `pathway serve`.
+struct DaemonGuard(Child);
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Starts `pathway serve` on a free port and waits until it answers pings.
+fn start_daemon(data_dir: &Path, step_sleep_ms: &str) -> (DaemonGuard, String) {
+    let child = pathway()
+        .args([
+            "serve",
+            data_dir.to_str().unwrap(),
+            "--listen",
+            "127.0.0.1:0",
+            "--quiet",
+        ])
+        .env("PATHWAY_SERVE_STEP_SLEEP_MS", step_sleep_ms)
+        .spawn()
+        .expect("spawn daemon");
+    let mut guard = DaemonGuard(child);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        assert!(
+            guard.0.try_wait().expect("poll daemon").is_none(),
+            "daemon exited during startup"
+        );
+        if let Ok(addr) = read_endpoint(data_dir) {
+            if let Ok(mut client) = Client::connect(&addr) {
+                if client.ping().is_ok() {
+                    return (guard, addr);
+                }
+            }
+        }
+        assert!(Instant::now() < deadline, "daemon never became reachable");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn write_spec(dir: &Path, name: &str, seed: u64) -> PathBuf {
+    let text = format!(
+        "pathway-spec v1\n\n\
+         [problem]\nname = schaffer\n\n\
+         [optimizer]\nkind = nsga2\npopulation = 16\n\n\
+         [run]\nseed = {seed}\ncheckpoint_every = 2\nreference_point = 25, 25\n\n\
+         [stop]\nmax_generations = 8\n"
+    );
+    let path = dir.join(name);
+    std::fs::write(&path, text).expect("write spec");
+    path
+}
+
+#[test]
+fn killed_daemon_resumes_every_job_byte_identically() {
+    let dir = temp_dir("kill");
+    let data = dir.join("studies");
+    std::fs::create_dir_all(&data).expect("data dir");
+    let seeds = [21u64, 22, 23];
+
+    // Uninterrupted baselines: one `pathway run` per spec, fronts written
+    // bit-exactly via --front-out.
+    let mut specs = Vec::new();
+    let mut baselines = Vec::new();
+    for (index, seed) in seeds.iter().enumerate() {
+        let spec = write_spec(&dir, &format!("study-{index}.spec"), *seed);
+        let front = dir.join(format!("baseline-{index}.front"));
+        let ckpt = dir.join(format!("baseline-{index}.ckpt"));
+        run_ok(&[
+            "run",
+            spec.to_str().unwrap(),
+            "--checkpoint-dir",
+            ckpt.to_str().unwrap(),
+            "--front-out",
+            front.to_str().unwrap(),
+            "--quiet",
+        ]);
+        specs.push(spec);
+        baselines.push(front);
+    }
+
+    // Daemon round 1, throttled to ~40ms per generation step so there is a
+    // wide window in which all three jobs are genuinely in flight.
+    let (daemon, addr) = start_daemon(&data, "40");
+    for spec in &specs {
+        run_ok(&[
+            "submit",
+            spec.to_str().unwrap(),
+            "--data-dir",
+            data.to_str().unwrap(),
+        ]);
+    }
+
+    // Wait until every job has at least one checkpointed generation (the
+    // spec checkpoints every 2) but none can have finished, then SIGKILL.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mid_flight = loop {
+        let mut client = Client::connect(&addr).expect("connect");
+        let status = client.status().expect("status");
+        assert_eq!(status.jobs.len(), 3);
+        let generations: Vec<usize> = status.jobs.iter().map(|j| j.generation).collect();
+        if generations.iter().all(|&g| (2..8).contains(&g)) {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "jobs never reached mid-flight");
+        std::thread::sleep(Duration::from_millis(15));
+    };
+    // Fairness while more jobs than worker lanes (3 jobs, serial executor):
+    // every job is running and within one generation of every other.
+    assert_eq!(mid_flight.executor.workers, 1);
+    assert!(mid_flight
+        .jobs
+        .iter()
+        .all(|job| job.state == JobState::Running));
+    let gens: Vec<usize> = mid_flight.jobs.iter().map(|j| j.generation).collect();
+    let (min, max) = (gens.iter().min().unwrap(), gens.iter().max().unwrap());
+    assert!(
+        max - min <= 1,
+        "round-robin keeps concurrent jobs in lockstep, got {gens:?}"
+    );
+    drop(daemon); // SIGKILL, mid-generation for at least one job
+
+    // Daemon round 2, unthrottled: every job must come back running from
+    // its last checkpoint and finish on its own.
+    let (mut daemon, addr) = start_daemon(&data, "0");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let mut client = Client::connect(&addr).expect("connect");
+        let status = client.status().expect("status");
+        assert!(
+            status
+                .jobs
+                .iter()
+                .all(|j| matches!(j.state, JobState::Running | JobState::Completed)),
+            "restore must not fail or cancel any job: {status:?}"
+        );
+        if status.jobs.iter().all(|j| j.state == JobState::Completed) {
+            for job in &status.jobs {
+                assert_eq!(job.generation, 8);
+            }
+            break;
+        }
+        assert!(Instant::now() < deadline, "resumed jobs never completed");
+        std::thread::sleep(Duration::from_millis(15));
+    }
+
+    // The acceptance bar: every front fetched from the kill-restarted
+    // daemon is byte-identical to its uninterrupted baseline.
+    for (index, baseline) in baselines.iter().enumerate() {
+        let fetched = dir.join(format!("fetched-{index}.front"));
+        run_ok(&[
+            "fetch-front",
+            &format!("job-{:04}", index + 1),
+            "--data-dir",
+            data.to_str().unwrap(),
+            "--out",
+            fetched.to_str().unwrap(),
+        ]);
+        let want = std::fs::read(baseline).expect("baseline front");
+        let got = std::fs::read(&fetched).expect("fetched front");
+        assert!(
+            !want.is_empty() && want == got,
+            "front {index} diverged after kill + resume"
+        );
+    }
+
+    // Clean shutdown via the CLI; the daemon process must exit by itself.
+    run_ok(&["shutdown", "--data-dir", data.to_str().unwrap()]);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if daemon.0.try_wait().expect("poll daemon").is_some() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "daemon ignored shutdown");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `watch` streams generations in order over the CLI and ends with the
+/// job's terminal state; `status` before any submit shows an empty daemon.
+#[test]
+fn watch_streams_until_completion() {
+    let dir = temp_dir("watch");
+    let data = dir.join("studies");
+    std::fs::create_dir_all(&data).expect("data dir");
+    let spec = write_spec(&dir, "watched.spec", 31);
+
+    let (daemon, addr) = start_daemon(&data, "150");
+    let output = run_ok(&["status", "--data-dir", data.to_str().unwrap()]);
+    assert!(String::from_utf8_lossy(&output.stdout).contains("no jobs"));
+
+    run_ok(&["submit", spec.to_str().unwrap(), "--addr", &addr]);
+    let output = run_ok(&["watch", "job-0001", "--addr", &addr]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let streamed: Vec<&str> = stdout
+        .lines()
+        .filter(|line| line.starts_with("[job-0001"))
+        .collect();
+    assert!(
+        !streamed.is_empty(),
+        "watch should stream generation lines, got:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("job-0001: completed at generation 8"),
+        "watch should report the terminal state, got:\n{stdout}"
+    );
+
+    run_ok(&["shutdown", "--addr", &addr]);
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}

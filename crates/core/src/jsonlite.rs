@@ -1,14 +1,30 @@
-//! A small, dependency-free JSON value type with a parser and pretty
-//! printer.
+//! A small, dependency-free JSON value type with a parser and printers.
 //!
 //! The workspace vendors no serialization crates, but the sweep ledger
 //! (`BENCH_sweep.json`) has to be machine-readable by ordinary tooling —
 //! so this module hand-rolls the minimum: an ordered [`JsonValue`] tree, a
-//! recursive-descent parser for standard JSON, and a deterministic
-//! two-space pretty printer. Object keys keep their insertion order, which
-//! makes emitted ledgers stable byte-for-byte across runs of the same data.
+//! recursive-descent parser for standard JSON, a deterministic two-space
+//! pretty printer, and a single-line compact printer
+//! ([`JsonValue::to_compact`]) for line-delimited wire protocols. Object
+//! keys keep their insertion order, which makes emitted ledgers stable
+//! byte-for-byte across runs of the same data.
+//!
+//! Since `pathway serve` feeds this parser untrusted socket input, it is
+//! hardened accordingly: nesting deeper than [`MAX_DEPTH`] is rejected with
+//! an explicit error (the recursive-descent parser would otherwise turn
+//! attacker-chosen `[[[[…` into a stack overflow), and truncated documents
+//! — unterminated strings, escapes cut short — fail with positioned
+//! errors rather than panics. `crates/core/tests/jsonlite_roundtrip.rs`
+//! property-tests the parse/print cycle.
 
 use std::fmt;
+
+/// Maximum container nesting depth [`JsonValue::parse`] accepts. Deeper
+/// documents fail with a positioned [`JsonError`] instead of risking a
+/// parser stack overflow on hostile input. 64 is far beyond anything the
+/// ledger or the `pathway serve` wire protocol produces (their documents
+/// are ≤ 6 levels deep).
+pub const MAX_DEPTH: usize = 64;
 
 /// A parsed or constructed JSON value. Objects preserve insertion order.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,20 +90,55 @@ impl JsonValue {
         }
     }
 
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(value) => Some(*value),
+            _ => None,
+        }
+    }
+
     /// True when this value is `null`.
     pub fn is_null(&self) -> bool {
         matches!(self, JsonValue::Null)
+    }
+
+    /// Builds a string value. Sugar for wire-message construction.
+    pub fn string(text: impl Into<String>) -> JsonValue {
+        JsonValue::String(text.into())
+    }
+
+    /// Builds an object from `(key, value)` pairs, preserving order. Sugar
+    /// for wire-message construction:
+    ///
+    /// ```
+    /// use pathway_core::jsonlite::JsonValue;
+    ///
+    /// let msg = JsonValue::object([
+    ///     ("cmd", JsonValue::string("status")),
+    ///     ("ok", JsonValue::Bool(true)),
+    /// ]);
+    /// assert_eq!(msg.to_compact(), r#"{"cmd":"status","ok":true}"#);
+    /// ```
+    pub fn object<K: Into<String>>(fields: impl IntoIterator<Item = (K, JsonValue)>) -> JsonValue {
+        JsonValue::Object(
+            fields
+                .into_iter()
+                .map(|(key, value)| (key.into(), value))
+                .collect(),
+        )
     }
 
     /// Parses a JSON document. Trailing non-whitespace is an error.
     ///
     /// # Errors
     ///
-    /// [`JsonError`] with a byte offset and message.
+    /// [`JsonError`] with a byte offset and message. Containers nested
+    /// deeper than [`MAX_DEPTH`] are rejected (see the module docs).
     pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
         let bytes = text.as_bytes();
         let mut at = 0usize;
-        let value = parse_value(bytes, &mut at)?;
+        let value = parse_value(bytes, &mut at, 0)?;
         skip_ws(bytes, &mut at);
         if at != bytes.len() {
             return Err(JsonError::at(at, "trailing characters after the document"));
@@ -101,6 +152,17 @@ impl JsonValue {
         let mut out = String::new();
         write_value(&mut out, self, 0);
         out.push('\n');
+        out
+    }
+
+    /// Renders the value as compact single-line JSON (no whitespace, no
+    /// trailing newline). Strings escape `\n` and control characters, so
+    /// the output never contains a literal newline — this is the framing
+    /// guarantee the line-delimited `pathway serve` wire protocol relies
+    /// on.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        write_compact(&mut out, self);
         out
     }
 }
@@ -137,12 +199,12 @@ fn skip_ws(bytes: &[u8], at: &mut usize) {
     }
 }
 
-fn parse_value(bytes: &[u8], at: &mut usize) -> Result<JsonValue, JsonError> {
+fn parse_value(bytes: &[u8], at: &mut usize, depth: usize) -> Result<JsonValue, JsonError> {
     skip_ws(bytes, at);
     match bytes.get(*at) {
         None => Err(JsonError::at(*at, "unexpected end of input")),
-        Some(b'{') => parse_object(bytes, at),
-        Some(b'[') => parse_array(bytes, at),
+        Some(b'{') => parse_object(bytes, at, check_depth(at, depth)?),
+        Some(b'[') => parse_array(bytes, at, check_depth(at, depth)?),
         Some(b'"') => Ok(JsonValue::String(parse_string(bytes, at)?)),
         Some(b't') => parse_literal(bytes, at, "true", JsonValue::Bool(true)),
         Some(b'f') => parse_literal(bytes, at, "false", JsonValue::Bool(false)),
@@ -269,7 +331,19 @@ fn parse_hex4(bytes: &[u8], at: &mut usize) -> Result<u32, JsonError> {
     Ok(value)
 }
 
-fn parse_array(bytes: &[u8], at: &mut usize) -> Result<JsonValue, JsonError> {
+/// Bumps the container nesting depth, rejecting documents deeper than
+/// [`MAX_DEPTH`] before the parser recurses into them.
+fn check_depth(at: &usize, depth: usize) -> Result<usize, JsonError> {
+    if depth >= MAX_DEPTH {
+        return Err(JsonError::at(
+            *at,
+            format!("nesting deeper than {MAX_DEPTH} levels"),
+        ));
+    }
+    Ok(depth + 1)
+}
+
+fn parse_array(bytes: &[u8], at: &mut usize, depth: usize) -> Result<JsonValue, JsonError> {
     *at += 1; // '['
     let mut items = Vec::new();
     skip_ws(bytes, at);
@@ -278,7 +352,7 @@ fn parse_array(bytes: &[u8], at: &mut usize) -> Result<JsonValue, JsonError> {
         return Ok(JsonValue::Array(items));
     }
     loop {
-        items.push(parse_value(bytes, at)?);
+        items.push(parse_value(bytes, at, depth)?);
         skip_ws(bytes, at);
         match bytes.get(*at) {
             Some(b',') => {
@@ -293,7 +367,7 @@ fn parse_array(bytes: &[u8], at: &mut usize) -> Result<JsonValue, JsonError> {
     }
 }
 
-fn parse_object(bytes: &[u8], at: &mut usize) -> Result<JsonValue, JsonError> {
+fn parse_object(bytes: &[u8], at: &mut usize, depth: usize) -> Result<JsonValue, JsonError> {
     *at += 1; // '{'
     let mut fields = Vec::new();
     skip_ws(bytes, at);
@@ -312,7 +386,7 @@ fn parse_object(bytes: &[u8], at: &mut usize) -> Result<JsonValue, JsonError> {
             return Err(JsonError::at(*at, "expected ':' after object key"));
         }
         *at += 1;
-        let value = parse_value(bytes, at)?;
+        let value = parse_value(bytes, at, depth)?;
         fields.push((key, value));
         skip_ws(bytes, at);
         match bytes.get(*at) {
@@ -374,6 +448,40 @@ fn write_value(out: &mut String, value: &JsonValue, indent: usize) {
             }
             out.push('\n');
             push_indent(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn write_compact(out: &mut String, value: &JsonValue) {
+    match value {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(true) => out.push_str("true"),
+        JsonValue::Bool(false) => out.push_str("false"),
+        JsonValue::Int(number) => out.push_str(&number.to_string()),
+        // Same shortest-round-trip rendering as the pretty printer.
+        JsonValue::Number(number) => out.push_str(&format!("{number:?}")),
+        JsonValue::String(text) => write_string(out, text),
+        JsonValue::Array(items) => {
+            out.push('[');
+            for (position, item) in items.iter().enumerate() {
+                if position > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        JsonValue::Object(fields) => {
+            out.push('{');
+            for (position, (key, item)) in fields.iter().enumerate() {
+                if position > 0 {
+                    out.push(',');
+                }
+                write_string(out, key);
+                out.push(':');
+                write_compact(out, item);
+            }
             out.push('}');
         }
     }

@@ -55,7 +55,8 @@ pub use geobacter_problem::{GeobacterFluxProblem, GeobacterSolution};
 pub use ode_leaf_problem::OdeLeafRedesignProblem;
 pub use photosynthesis_problem::LeafRedesignProblem;
 pub use registry::{
-    resume_spec_driver, resume_spec_driver_with_executor, spec_driver, spec_driver_with_executor,
+    owned_resume_spec_driver, owned_spec_driver, resume_spec_driver,
+    resume_spec_driver_with_executor, spec_driver, spec_driver_with_executor,
     validate_spec_against_problem, AnyProblem, ProblemInfo, PROBLEM_CATALOG,
 };
 pub use report::{

@@ -320,7 +320,7 @@ pub fn validate_spec_against_problem(
 pub fn spec_driver<'p>(
     spec: &RunSpec,
     problem: &'p AnyProblem,
-) -> Driver<'p, AnyProblem, AnyOptimizer> {
+) -> Driver<&'p AnyProblem, AnyOptimizer> {
     assemble_driver(spec, problem, spec.build_optimizer())
 }
 
@@ -336,17 +336,32 @@ pub fn spec_driver_with_executor<'p>(
     spec: &RunSpec,
     problem: &'p AnyProblem,
     executor: Arc<Executor>,
-) -> Driver<'p, AnyProblem, AnyOptimizer> {
+) -> Driver<&'p AnyProblem, AnyOptimizer> {
     let mut optimizer = spec.build_optimizer();
     optimizer.set_executor(executor);
     assemble_driver(spec, problem, optimizer)
 }
 
-fn assemble_driver<'p>(
+/// Like [`spec_driver_with_executor`], but the driver takes *ownership* of
+/// the problem, so the returned value is a fully self-contained job: no
+/// borrow ties it to the caller's stack frame. This is the factory used by
+/// long-lived services (`pathway serve`) that park many drivers in a job
+/// table and advance each one step per scheduling turn.
+pub fn owned_spec_driver(
     spec: &RunSpec,
-    problem: &'p AnyProblem,
+    problem: AnyProblem,
+    executor: Arc<Executor>,
+) -> Driver<AnyProblem, AnyOptimizer> {
+    let mut optimizer = spec.build_optimizer();
+    optimizer.set_executor(executor);
+    assemble_driver(spec, problem, optimizer)
+}
+
+fn assemble_driver<P: MultiObjectiveProblem>(
+    spec: &RunSpec,
+    problem: P,
     optimizer: AnyOptimizer,
-) -> Driver<'p, AnyProblem, AnyOptimizer> {
+) -> Driver<P, AnyOptimizer> {
     let mut driver = Driver::new(optimizer, problem).with_stopping(spec.stopping_rule());
     if let Some(reference) = &spec.reference_point {
         driver = driver.with_reference_point(reference.clone());
@@ -376,7 +391,7 @@ pub fn resume_spec_driver<'p>(
     spec: &RunSpec,
     problem: &'p AnyProblem,
     checkpoint: RunCheckpoint,
-) -> Result<Driver<'p, AnyProblem, AnyOptimizer>, EngineError> {
+) -> Result<Driver<&'p AnyProblem, AnyOptimizer>, EngineError> {
     resume_driver_inner(spec, problem, checkpoint, None)
 }
 
@@ -394,16 +409,33 @@ pub fn resume_spec_driver_with_executor<'p>(
     problem: &'p AnyProblem,
     checkpoint: RunCheckpoint,
     executor: Arc<Executor>,
-) -> Result<Driver<'p, AnyProblem, AnyOptimizer>, EngineError> {
+) -> Result<Driver<&'p AnyProblem, AnyOptimizer>, EngineError> {
     resume_driver_inner(spec, problem, checkpoint, Some(executor))
 }
 
-fn resume_driver_inner<'p>(
+/// Like [`resume_spec_driver_with_executor`], but the rebuilt driver takes
+/// *ownership* of the problem — the resume-side counterpart of
+/// [`owned_spec_driver`], used by services restoring parked jobs after a
+/// restart.
+///
+/// # Errors
+///
+/// Same as [`resume_spec_driver`].
+pub fn owned_resume_spec_driver(
     spec: &RunSpec,
-    problem: &'p AnyProblem,
+    problem: AnyProblem,
+    checkpoint: RunCheckpoint,
+    executor: Arc<Executor>,
+) -> Result<Driver<AnyProblem, AnyOptimizer>, EngineError> {
+    resume_driver_inner(spec, problem, checkpoint, Some(executor))
+}
+
+fn resume_driver_inner<P: MultiObjectiveProblem>(
+    spec: &RunSpec,
+    problem: P,
     checkpoint: RunCheckpoint,
     executor: Option<Arc<Executor>>,
-) -> Result<Driver<'p, AnyProblem, AnyOptimizer>, EngineError> {
+) -> Result<Driver<P, AnyOptimizer>, EngineError> {
     let missing_reference = checkpoint.reference_point.is_none();
     let mut optimizer = spec.build_optimizer();
     if let Some(executor) = executor {

@@ -225,7 +225,7 @@ impl<P: MultiObjectiveProblem> Study<P> {
     /// budget (plus any [`Study::with_stopping`] rules) installed as the
     /// stopping rule. Attach observers or take checkpoints on the returned
     /// driver.
-    pub fn driver(&self, seed: u64) -> Driver<'_, P, Archipelago> {
+    pub fn driver(&self, seed: u64) -> Driver<&P, Archipelago> {
         let mut rules = vec![StoppingRule::MaxGenerations(self.generations)];
         if let Some(extra) = &self.extra_stopping {
             rules.push(extra.clone());

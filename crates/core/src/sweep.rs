@@ -427,6 +427,17 @@ fn derived_reference(points: &[Vec<f64>]) -> Vec<f64> {
 ///
 /// Propagates the underlying I/O error.
 pub fn write_front_file(path: &Path, front: &[Individual]) -> std::io::Result<()> {
+    let out = render_front(front);
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())?;
+    file.sync_all()
+}
+
+/// Renders a front in the exact [`write_front_file`] format without
+/// touching the filesystem. `pathway serve` uses this for `fetch-front`
+/// responses, so a front fetched over the wire is byte-identical to the
+/// file a `pathway run --front-out` of the same spec would have written.
+pub fn render_front(front: &[Individual]) -> String {
     let mut out = String::with_capacity(front.len() * 64 + 32);
     out.push_str(FRONT_HEADER);
     out.push('\n');
@@ -445,9 +456,7 @@ pub fn write_front_file(path: &Path, front: &[Individual]) -> std::io::Result<()
             individual.violation.to_bits()
         ));
     }
-    let mut file = std::fs::File::create(path)?;
-    file.write_all(out.as_bytes())?;
-    file.sync_all()
+    out
 }
 
 /// Reads the objective vectors back out of a [`write_front_file`] file,

@@ -1,0 +1,168 @@
+//! Property tests for `pathway_core::jsonlite`.
+//!
+//! The `pathway serve` wire protocol feeds this parser untrusted socket
+//! bytes, so beyond the unit tests in the module itself we check two things
+//! over randomized documents: every print/parse cycle is the identity
+//! (pretty and compact alike), and the hostile-input hardening — the
+//! nesting-depth cap, truncated strings and escapes — fails with explicit
+//! errors instead of panics or stack overflows.
+
+use pathway_core::jsonlite::{JsonValue, MAX_DEPTH};
+use proptest::prelude::*;
+
+/// SplitMix64 step: the test draws one `u64` seed per case from the shim's
+/// strategy and expands it into a whole random document tree.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Characters the generator draws strings from — biased toward everything
+/// the escaper has to handle: quotes, backslashes, control characters,
+/// multi-byte scalars, and an astral-plane emoji (surrogate-pair territory
+/// in `\u` escapes).
+const PALETTE: &[char] = &[
+    'a', 'z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{0000}', '\u{0007}', '\u{001f}', 'é',
+    'µ', '\u{2028}', '😀',
+];
+
+fn random_string(state: &mut u64) -> String {
+    let len = (next(state) % 12) as usize;
+    (0..len)
+        .map(|_| PALETTE[(next(state) % PALETTE.len() as u64) as usize])
+        .collect()
+}
+
+/// A finite random number that exercises both `Int` and `Number` payloads.
+fn random_number(state: &mut u64) -> JsonValue {
+    match next(state) % 3 {
+        0 => JsonValue::Int(next(state) as i64),
+        1 => JsonValue::Int((next(state) % 100) as i64 - 50),
+        _ => {
+            // mantissa × 2^exp stays finite for |exp| ≤ 64.
+            let mantissa = (next(state) as i64 % (1 << 40)) as f64;
+            let exp = (next(state) % 129) as i32 - 64;
+            JsonValue::Number(mantissa * (exp as f64).exp2())
+        }
+    }
+}
+
+fn random_value(state: &mut u64, depth: usize) -> JsonValue {
+    // Containers get rarer with depth so trees stay small and terminate.
+    let kinds = if depth >= 5 { 5 } else { 7 };
+    match next(state) % kinds {
+        0 => JsonValue::Null,
+        1 => JsonValue::Bool(next(state).is_multiple_of(2)),
+        2 | 3 => random_number(state),
+        4 => JsonValue::String(random_string(state)),
+        5 => {
+            let len = (next(state) % 4) as usize;
+            JsonValue::Array((0..len).map(|_| random_value(state, depth + 1)).collect())
+        }
+        _ => {
+            let len = (next(state) % 4) as usize;
+            JsonValue::Object(
+                (0..len)
+                    .map(|_| (random_string(state), random_value(state, depth + 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn prop_pretty_print_parse_is_identity(seed in 0u64..u64::MAX) {
+        let mut state = seed;
+        let value = random_value(&mut state, 0);
+        let printed = value.to_pretty();
+        let reparsed = JsonValue::parse(&printed)
+            .unwrap_or_else(|err| panic!("own pretty output rejected: {err}\n{printed}"));
+        prop_assert_eq!(&value, &reparsed);
+    }
+
+    #[test]
+    fn prop_compact_print_parse_is_identity_and_single_line(seed in 0u64..u64::MAX) {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let value = random_value(&mut state, 0);
+        let printed = value.to_compact();
+        // The wire framing invariant: compact output never contains a
+        // literal newline (or any other raw control character).
+        prop_assert!(printed.chars().all(|ch| (ch as u32) >= 0x20));
+        let reparsed = JsonValue::parse(&printed)
+            .unwrap_or_else(|err| panic!("own compact output rejected: {err}\n{printed}"));
+        prop_assert_eq!(&value, &reparsed);
+    }
+
+    #[test]
+    fn prop_parser_never_panics_on_mutated_documents(seed in 0u64..u64::MAX) {
+        // Take a valid document, corrupt one byte, and require a clean
+        // Ok/Err — never a panic. (Parsing happens on raw &str, so the
+        // mutation is applied at the char level to keep the input UTF-8.)
+        let mut state = seed.wrapping_add(7);
+        let value = random_value(&mut state, 0);
+        let mut chars: Vec<char> = value.to_compact().chars().collect();
+        if !chars.is_empty() {
+            let idx = (next(&mut state) as usize) % chars.len();
+            chars[idx] = PALETTE[(next(&mut state) % PALETTE.len() as u64) as usize];
+        }
+        let mutated: String = chars.into_iter().collect();
+        let _ = JsonValue::parse(&mutated); // must return, not panic
+    }
+}
+
+fn nested_array(depth: usize) -> String {
+    let mut doc = String::new();
+    for _ in 0..depth {
+        doc.push('[');
+    }
+    doc.push('1');
+    for _ in 0..depth {
+        doc.push(']');
+    }
+    doc
+}
+
+#[test]
+fn accepts_documents_up_to_the_depth_cap() {
+    let value = JsonValue::parse(&nested_array(MAX_DEPTH)).expect("MAX_DEPTH nesting is legal");
+    let reparsed = JsonValue::parse(&value.to_compact()).expect("round-trip");
+    assert_eq!(value, reparsed);
+}
+
+#[test]
+fn rejects_documents_beyond_the_depth_cap() {
+    let err = JsonValue::parse(&nested_array(MAX_DEPTH + 1)).expect_err("too deep");
+    assert!(
+        err.message.contains("nesting deeper than"),
+        "unexpected error: {err}"
+    );
+    // A hostile unclosed prefix must fail the same way, not overflow the
+    // parser stack.
+    let bomb = "[".repeat(100_000);
+    let err = JsonValue::parse(&bomb).expect_err("hostile nesting bomb");
+    assert!(err.message.contains("nesting deeper than"));
+    let object_bomb = "{\"k\":".repeat(100_000);
+    assert!(JsonValue::parse(&object_bomb).is_err());
+}
+
+#[test]
+fn rejects_truncated_strings_and_escapes_with_explicit_errors() {
+    let err = JsonValue::parse("\"abc").expect_err("unterminated string");
+    assert!(err.message.contains("unterminated string"), "{err}");
+
+    let err = JsonValue::parse("\"abc\\").expect_err("unterminated escape");
+    assert!(err.message.contains("unterminated escape"), "{err}");
+
+    let err = JsonValue::parse("\"ab\\u12").expect_err("truncated \\u escape");
+    assert!(err.message.contains("truncated \\u escape"), "{err}");
+
+    let err = JsonValue::parse("\"\\ud800\"").expect_err("unpaired surrogate");
+    assert!(err.message.contains("unpaired surrogate"), "{err}");
+
+    let err = JsonValue::parse("\"\\q\"").expect_err("invalid escape");
+    assert!(err.message.contains("invalid escape"), "{err}");
+}

@@ -35,6 +35,17 @@ pub struct RunCheckpoint {
 /// hypervolume, wall-clock), fans the report out to the attached
 /// [`Observer`]s, and stops when the configured [`StoppingRule`] fires.
 ///
+/// # Problem ownership
+///
+/// The driver owns its problem value. Because `&T` implements
+/// [`MultiObjectiveProblem`] whenever `T` does, passing `&problem` to
+/// [`Driver::new`] keeps working (the driver then "owns" a borrow, `P =
+/// &T`), while services that hold many long-lived runs — e.g. the
+/// `pathway serve` job scheduler — can move the problem *into* the driver
+/// and treat the pair as one self-contained actor, advanced one
+/// [`step`](Driver::step) at a time per scheduling turn with no borrow
+/// tying it to a caller's stack frame.
+///
 /// # Hypervolume reference point
 ///
 /// Reports need a reference point to compute hypervolume against. Configure
@@ -76,9 +87,9 @@ pub struct RunCheckpoint {
 ///     .run();
 /// assert_eq!(unsplit, resumed);
 /// ```
-pub struct Driver<'p, P: MultiObjectiveProblem, O: Optimizer<P>> {
+pub struct Driver<P: MultiObjectiveProblem, O: Optimizer<P>> {
     optimizer: O,
-    problem: &'p P,
+    problem: P,
     observers: Vec<Box<dyn Observer>>,
     stopping: StoppingRule,
     reference_point: Option<Vec<f64>>,
@@ -86,13 +97,14 @@ pub struct Driver<'p, P: MultiObjectiveProblem, O: Optimizer<P>> {
     hypervolume_history: Vec<f64>,
 }
 
-impl<'p, P: MultiObjectiveProblem, O: Optimizer<P>> Driver<'p, P, O> {
+impl<P: MultiObjectiveProblem, O: Optimizer<P>> Driver<P, O> {
     /// Creates a driver for a fresh run.
     ///
     /// The default stopping rule is `MaxGenerations(250)` (matching the
     /// algorithm configs' default generation budget); override it with
-    /// [`with_stopping`](Driver::with_stopping).
-    pub fn new(optimizer: O, problem: &'p P) -> Self {
+    /// [`with_stopping`](Driver::with_stopping). `problem` is moved into
+    /// the driver; pass `&problem` to keep ownership at the call site.
+    pub fn new(optimizer: O, problem: P) -> Self {
         Driver {
             optimizer,
             problem,
@@ -117,7 +129,7 @@ impl<'p, P: MultiObjectiveProblem, O: Optimizer<P>> Driver<'p, P, O> {
     /// `optimizer`.
     pub fn resume(
         mut optimizer: O,
-        problem: &'p P,
+        problem: P,
         checkpoint: RunCheckpoint,
     ) -> Result<Self, EngineError> {
         optimizer.restore(checkpoint.optimizer)?;
@@ -175,6 +187,11 @@ impl<'p, P: MultiObjectiveProblem, O: Optimizer<P>> Driver<'p, P, O> {
         &self.optimizer
     }
 
+    /// The driven problem.
+    pub fn problem(&self) -> &P {
+        &self.problem
+    }
+
     /// The current non-dominated front.
     pub fn front(&self) -> Vec<Individual> {
         self.optimizer.front()
@@ -217,9 +234,9 @@ impl<'p, P: MultiObjectiveProblem, O: Optimizer<P>> Driver<'p, P, O> {
     /// Runs one generation: step the optimizer, record the report, notify
     /// observers. Initializes the optimizer first when needed.
     pub fn step(&mut self) -> GenerationReport {
-        self.optimizer.initialize(self.problem);
+        self.optimizer.initialize(&self.problem);
         let started = Instant::now();
-        self.optimizer.step(self.problem);
+        self.optimizer.step(&self.problem);
         let wall_clock = started.elapsed();
         self.generation += 1;
 
@@ -271,7 +288,7 @@ impl<'p, P: MultiObjectiveProblem, O: Optimizer<P>> Driver<'p, P, O> {
     /// per-generation telemetry when nothing consumes it, unlike a manual
     /// loop over [`Driver::step`] which always pays for a full report.
     pub fn run_for(&mut self, generations: usize) -> usize {
-        self.optimizer.initialize(self.problem);
+        self.optimizer.initialize(&self.problem);
         let wants_telemetry = !self.observers.is_empty() || self.stopping.needs_hypervolume();
         let mut completed = 0;
         while completed < generations && !self.should_stop() {
@@ -290,8 +307,8 @@ impl<'p, P: MultiObjectiveProblem, O: Optimizer<P>> Driver<'p, P, O> {
     /// per generation driven *with* telemetry, so a stagnation window never
     /// spans generations whose hypervolume was simply not computed.
     fn step_untracked(&mut self) {
-        self.optimizer.initialize(self.problem);
-        self.optimizer.step(self.problem);
+        self.optimizer.initialize(&self.problem);
+        self.optimizer.step(&self.problem);
         self.generation += 1;
     }
 

@@ -177,20 +177,43 @@ impl Observer for HistoryObserver {
 #[derive(Debug)]
 pub struct ChannelObserver {
     sender: Sender<GenerationReport>,
+    disconnected: bool,
 }
 
 impl ChannelObserver {
     /// Creates a connected observer/receiver pair.
     pub fn channel() -> (Self, Receiver<GenerationReport>) {
         let (sender, receiver) = std::sync::mpsc::channel();
-        (ChannelObserver { sender }, receiver)
+        (
+            ChannelObserver {
+                sender,
+                disconnected: false,
+            },
+            receiver,
+        )
+    }
+
+    /// `true` once a send has failed because the receiver was dropped.
+    ///
+    /// The observer itself keeps working (reports are discarded), but
+    /// long-lived hosts — e.g. the `pathway serve` scheduler, which attaches
+    /// one observer per `watch` client — use this to prune dead sinks
+    /// instead of cloning reports for them forever.
+    pub fn is_disconnected(&self) -> bool {
+        self.disconnected
     }
 }
 
 impl Observer for ChannelObserver {
     fn on_generation(&mut self, report: &GenerationReport) {
         // A hung-up receiver is fine: the run outlives its telemetry sinks.
-        let _ = self.sender.send(report.clone());
+        // After the first failed send, skip even the report clone.
+        if self.disconnected {
+            return;
+        }
+        if self.sender.send(report.clone()).is_err() {
+            self.disconnected = true;
+        }
     }
 }
 
@@ -225,10 +248,43 @@ mod tests {
         observer.on_generation(&report(1));
         observer.on_generation(&report(2));
         assert_eq!(receiver.try_iter().count(), 2);
+        assert!(!observer.is_disconnected());
         drop(receiver);
         // Telemetry must never kill the run: sends to a hung-up channel are
-        // swallowed.
+        // swallowed, and the hangup is latched for hosts that prune sinks.
         observer.on_generation(&report(3));
+        assert!(observer.is_disconnected());
+        observer.on_generation(&report(4));
+        assert!(observer.is_disconnected());
+    }
+
+    #[test]
+    fn driver_finishes_a_full_run_after_its_watcher_hangs_up() {
+        // Regression for the serve scheduler's watch path: a client that
+        // disconnects (drops its Receiver) before — or during — a run must
+        // neither panic nor wedge the driver, and must not change the
+        // trajectory.
+        use crate::engine::{Driver, StoppingRule};
+        use crate::problems::Schaffer;
+        use crate::{Nsga2, Nsga2Config};
+
+        let config = Nsga2Config {
+            population_size: 16,
+            ..Default::default()
+        };
+        let stop = StoppingRule::MaxGenerations(6);
+
+        let (observer, receiver) = ChannelObserver::channel();
+        drop(receiver); // client hung up before the run even started
+        let mut watched = Driver::new(Nsga2::new(config, 7), &Schaffer)
+            .with_observer(observer)
+            .with_stopping(stop.clone());
+        let watched_front = watched.run();
+        assert_eq!(watched.generation(), 6);
+
+        let mut unwatched = Driver::new(Nsga2::new(config, 7), &Schaffer).with_stopping(stop);
+        let unwatched_front = unwatched.run();
+        assert_eq!(watched_front, unwatched_front);
     }
 
     #[test]

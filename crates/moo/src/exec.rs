@@ -52,6 +52,7 @@
 
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -59,6 +60,25 @@ use crate::{EvalBackend, Individual, MultiObjectiveProblem};
 
 /// A type-erased unit of work shipped to a pool worker.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A point-in-time load snapshot of an [`Executor`] (see
+/// [`Executor::stats`]).
+///
+/// The gauges are updated with relaxed atomics on the submit/execute path,
+/// so a snapshot is advisory — a health signal for dashboards and the
+/// `pathway serve` `status` command, not a synchronization primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Configured degree of parallelism (the caller lane included); matches
+    /// [`Executor::workers`].
+    pub workers: usize,
+    /// Chunks submitted to the pool's queue but not yet picked up by a
+    /// worker. Always 0 in serial mode.
+    pub queued_chunks: usize,
+    /// Lanes currently executing a chunk, the caller lane included. Always
+    /// 0 in serial mode (serial evaluation is not instrumented).
+    pub active_workers: usize,
+}
 
 /// A persistent evaluation executor: either the calling thread
 /// (serial mode) or a long-lived pool of parked worker threads.
@@ -136,6 +156,25 @@ impl Executor {
     /// `true` when this executor owns a worker pool.
     pub fn is_pooled(&self) -> bool {
         matches!(self.mode, Mode::Pool(_))
+    }
+
+    /// A point-in-time load snapshot: configured lanes, chunks waiting in
+    /// the queue, lanes currently executing a chunk. Safe to call from any
+    /// thread at any time — this is the observability hook the `pathway
+    /// serve` `status` command surfaces as executor health.
+    pub fn stats(&self) -> ExecutorStats {
+        match &self.mode {
+            Mode::Serial => ExecutorStats {
+                workers: 1,
+                queued_chunks: 0,
+                active_workers: 0,
+            },
+            Mode::Pool(pool) => ExecutorStats {
+                workers: pool.workers,
+                queued_chunks: pool.gauges.queued.load(Ordering::Relaxed),
+                active_workers: pool.gauges.active.load(Ordering::Relaxed),
+            },
+        }
     }
 
     /// Applies `f` to contiguous chunks of `items` — one chunk per worker,
@@ -298,6 +337,16 @@ struct WorkerPool {
     handles: Vec<JoinHandle<()>>,
     /// Configured parallelism (caller lane included), not thread count.
     workers: usize,
+    /// Live load gauges behind [`Executor::stats`].
+    gauges: Arc<PoolGauges>,
+}
+
+/// Relaxed-atomic load gauges shared between the pool handle, its workers,
+/// and any thread taking an [`ExecutorStats`] snapshot.
+#[derive(Debug, Default)]
+struct PoolGauges {
+    queued: AtomicUsize,
+    active: AtomicUsize,
 }
 
 impl WorkerPool {
@@ -305,9 +354,11 @@ impl WorkerPool {
         debug_assert!(workers >= 2, "one-worker pools short-circuit to serial");
         let (sender, receiver) = mpsc::channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
+        let gauges = Arc::new(PoolGauges::default());
         let handles = (0..workers - 1)
             .map(|index| {
                 let receiver = Arc::clone(&receiver);
+                let gauges = Arc::clone(&gauges);
                 std::thread::Builder::new()
                     .name(format!("pathway-exec-{index}"))
                     .spawn(move || loop {
@@ -323,7 +374,10 @@ impl WorkerPool {
                             // `run_chunks`); the extra catch keeps a worker
                             // alive even if that invariant is ever broken.
                             Ok(job) => {
+                                gauges.queued.fetch_sub(1, Ordering::Relaxed);
+                                gauges.active.fetch_add(1, Ordering::Relaxed);
                                 let _ = panic::catch_unwind(AssertUnwindSafe(job));
+                                gauges.active.fetch_sub(1, Ordering::Relaxed);
                             }
                             Err(mpsc::RecvError) => break,
                         }
@@ -335,6 +389,7 @@ impl WorkerPool {
             sender: Some(sender),
             handles,
             workers,
+            gauges,
         }
     }
 
@@ -375,14 +430,17 @@ impl WorkerPool {
             // contained by `catch_unwind`.
             let boxed: Job =
                 unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(boxed) };
+            self.gauges.queued.fetch_add(1, Ordering::Relaxed);
             if let Err(mpsc::SendError(job)) = sender.send(boxed) {
                 // Unreachable while `self` is alive, but losing a job would
                 // deadlock the latch — run it here instead.
+                self.gauges.queued.fetch_sub(1, Ordering::Relaxed);
                 job();
             }
         }
         // The calling thread is a worker too: it takes the first chunk
         // instead of idling until the pool drains.
+        self.gauges.active.fetch_add(1, Ordering::Relaxed);
         let inline_panic = match panic::catch_unwind(AssertUnwindSafe(|| f(chunks[0]))) {
             Ok(values) => {
                 *slots[0].lock().expect("result slot poisoned") = Some(values);
@@ -390,6 +448,7 @@ impl WorkerPool {
             }
             Err(payload) => Some(payload),
         };
+        self.gauges.active.fetch_sub(1, Ordering::Relaxed);
         // Always reach the barrier before unwinding anything: the workers
         // still hold borrows into this frame until the latch drains.
         let pool_panic = latch.wait();
@@ -506,6 +565,39 @@ mod tests {
             chunk.iter().map(|v| v * v).collect::<Vec<_>>()
         });
         assert_eq!(squares.len(), items.len());
+    }
+
+    #[test]
+    fn stats_report_configuration_and_return_to_idle() {
+        let serial = Executor::serial();
+        assert_eq!(
+            serial.stats(),
+            ExecutorStats {
+                workers: 1,
+                queued_chunks: 0,
+                active_workers: 0
+            }
+        );
+
+        let pool = Executor::new(EvalBackend::Threads(3));
+        assert_eq!(pool.stats().workers, 3);
+        assert_eq!(pool.stats().queued_chunks, 0);
+        assert_eq!(pool.stats().active_workers, 0);
+
+        // While a batch is in flight, at least the caller lane is active
+        // (the closure runs *inside* map_chunks).
+        let items: Vec<usize> = (0..64).collect();
+        let seen_active = AtomicUsize::new(0);
+        pool.map_chunks(&items, |chunk| {
+            seen_active.fetch_max(pool.stats().active_workers, Ordering::Relaxed);
+            chunk.to_vec()
+        });
+        assert!(seen_active.load(Ordering::Relaxed) >= 1);
+
+        // Idle again once the batch completed.
+        let after = pool.stats();
+        assert_eq!(after.queued_chunks, 0);
+        assert_eq!(after.active_workers, 0);
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub use engine::{
     Optimizer, OptimizerState, RunCheckpoint, StoppingRule,
 };
 pub use eval::EvalBackend;
-pub use exec::Executor;
+pub use exec::{Executor, ExecutorStats};
 pub use individual::{Individual, Population};
 pub use moead::{Moead, MoeadConfig};
 pub use nsga2::{Nsga2, Nsga2Config};

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# A complete `pathway serve` session: start a daemon, submit a study,
+# stream its telemetry, fetch the final front, shut the daemon down.
+#
+#   ./examples/serve_demo.sh [data-dir]
+#
+# Builds the `pathway` binary if needed; everything lands under the data
+# dir (default: a fresh ./serve_demo.studies next to this script).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+DATA_DIR="${1:-examples/serve_demo.studies}"
+
+cargo build --release -p pathway-cli
+PATHWAY=target/release/pathway
+
+rm -rf "$DATA_DIR"
+mkdir -p "$DATA_DIR"
+
+# 1. The daemon: one process, one shared 2-way evaluation pool, any number
+#    of concurrent studies. Port 0 picks a free port; the bound address is
+#    recorded in $DATA_DIR/endpoint for the client commands below.
+"$PATHWAY" serve "$DATA_DIR" --listen 127.0.0.1:0 --threads 2 &
+DAEMON_PID=$!
+trap 'kill "$DAEMON_PID" 2>/dev/null || true' EXIT
+until [ -s "$DATA_DIR/endpoint" ]; do sleep 0.1; done
+echo "daemon up at $(cat "$DATA_DIR/endpoint")"
+
+# 2. Submit two studies; they interleave one generation at a time on the
+#    shared pool, so neither starves the other.
+"$PATHWAY" submit examples/quickstart.spec --data-dir "$DATA_DIR"
+"$PATHWAY" submit examples/leaf_redesign.spec --data-dir "$DATA_DIR"
+
+# 3. Live state: per-job generations plus the executor's queue/active
+#    gauges, sampled while the jobs are actually running.
+"$PATHWAY" status --data-dir "$DATA_DIR"
+
+# 4. Stream job-0001's per-generation telemetry until it completes. (Safe
+#    to interrupt: watchers are telemetry-only and never affect the run.)
+"$PATHWAY" watch job-0001 --data-dir "$DATA_DIR"
+
+# 5. Harvest the front — byte-identical to what `pathway run --front-out`
+#    would have produced for the same spec.
+"$PATHWAY" fetch-front job-0001 --data-dir "$DATA_DIR" --out "$DATA_DIR/job-0001.front"
+head -n 3 "$DATA_DIR/job-0001.front"
+
+# 6. Clean shutdown: every still-running job writes a checkpoint first. A
+#    later `pathway serve` over the same data dir resumes them
+#    bit-identically — try `kill -9 $DAEMON_PID` instead and see.
+"$PATHWAY" shutdown --data-dir "$DATA_DIR"
+wait "$DAEMON_PID"
+trap - EXIT
+echo "done; artifacts in $DATA_DIR"

@@ -153,7 +153,7 @@ fn checkpoint_driver(
     backend: EvalBackend,
     seed: u64,
     problem: &Schaffer,
-) -> Driver<'_, Schaffer, Archipelago> {
+) -> Driver<&Schaffer, Archipelago> {
     Driver::new(Archipelago::new(checkpoint_config(backend), seed), problem)
 }
 
