@@ -9,6 +9,7 @@
 //! pathway resume checkpoints/gen-50.ckpt        # continue a run, bit-identically
 //! pathway sweep examples/benchmarks.sweep       # expand a grid, run every cell
 //! pathway ledger-check BENCH_sweep.json         # validate a sweep ledger
+//! pathway profile-check BENCH_profile.json      # validate a telemetry profile
 //! pathway inspect examples/quickstart.spec      # validate + show canonical form
 //! pathway inspect checkpoints/gen-50.ckpt       # show checkpoint header + spec
 //! pathway list-problems                         # the problem registry
@@ -16,8 +17,8 @@
 //! pathway submit spec.spec --data-dir studies/  # schedule a job on the daemon
 //! ```
 //!
-//! The `serve` family (`serve`, `submit`, `status`, `watch`, `cancel`,
-//! `fetch-front`, `shutdown`) fronts the [`pathway_serve`] daemon: many
+//! The `serve` family (`serve`, `submit`, `status`, `metrics`, `watch`,
+//! `cancel`, `fetch-front`, `shutdown`) fronts the [`pathway_serve`] daemon: many
 //! concurrent studies on one shared evaluation pool, durable under
 //! `kill -9`, with per-generation telemetry streamed to any number of
 //! watchers. Client commands find the daemon via `--addr <host:port>` or
@@ -44,17 +45,22 @@ use std::ffi::OsString;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use pathway_core::obs::{
+    check_phase_balance, validate_profile_json, write_profile_file, ProfileData,
+};
 use pathway_core::sweep::{
-    run_sweep, validate_bench_json, write_front_file, SweepEvent, SweepReport,
+    run_sweep_with_metrics, validate_bench_json, write_front_file, SweepEvent, SweepReport,
 };
 use pathway_core::{
     resume_spec_driver_with_executor, spec_driver_with_executor, validate_spec_against_problem,
     AnyProblem, PROBLEM_CATALOG,
 };
+use pathway_moo::engine::telemetry::duration_us;
 use pathway_moo::engine::{
     is_sweep_text, AnyOptimizer, ChannelObserver, CheckpointStore, Driver, GenerationReport,
-    RunSpec, StoredCheckpoint, SweepSpec,
+    MetricsRegistry, RunSpec, StoredCheckpoint, SweepSpec,
 };
 use pathway_moo::exec::Executor;
 use pathway_moo::{EvalBackend, Individual};
@@ -69,6 +75,8 @@ USAGE:
     pathway sweep <sweep-file> [OPTIONS]    expand a grid spec, run every cell,
                                             record results in a durable ledger
     pathway ledger-check <BENCH_sweep.json> validate a sweep ledger's schema
+    pathway profile-check <profile.json>    validate a telemetry profile's
+                                            schema and phase-timing balance
     pathway inspect <file>                  describe a spec, sweep or checkpoint
     pathway list-problems                   show the problem registry
 
@@ -77,6 +85,9 @@ USAGE:
                                             under kill -9
     pathway submit <spec-file> [TARGET]     schedule a run or sweep on a daemon
     pathway status [TARGET]                 daemon jobs + executor health
+    pathway metrics [TARGET]                live daemon telemetry snapshot as a
+                                            pathway-profile document
+                                            (--out <file> writes it)
     pathway watch <job> [TARGET]            stream a job's telemetry
     pathway cancel <job> [TARGET]           cancel a job
     pathway fetch-front <job> [TARGET]      fetch a job's front (--out <file>)
@@ -93,6 +104,10 @@ OPTIONS (run / resume):
                              spec's backend (0 or 1 = serial); results are
                              bit-identical either way, only wall-clock changes
     --front-out <file>       write the final front, bit-exactly, to <file>
+    --profile-out <file>     write a pathway-profile telemetry document
+                             (phase timings, oracle + executor counters) when
+                             the run finishes; telemetry is off otherwise and
+                             never changes results either way
     --spec <file>            (resume) verify the checkpoint against this spec
     --quiet                  no per-generation progress output
 
@@ -103,6 +118,7 @@ OPTIONS (sweep):
     --stop-after <n>         stop once <n> generations have run across the
                              grid in this invocation; re-running the same
                              sweep resumes only its incomplete cells
+    --profile-out <file>     as above, aggregated across every cell
     --threads <n> / --quiet  as above
 
 OPTIONS (serve):
@@ -166,11 +182,13 @@ fn dispatch(args: &[OsString]) -> Result<(), CliError> {
         Some("resume") => command_resume(&args[1..]),
         Some("sweep") => command_sweep(&args[1..]),
         Some("ledger-check") => command_ledger_check(&args[1..]),
+        Some("profile-check") => command_profile_check(&args[1..]),
         Some("inspect") => command_inspect(&args[1..]),
         Some("list-problems") => command_list_problems(&args[1..]),
         Some("serve") => command_serve(&args[1..]),
         Some("submit") => command_submit(&args[1..]),
         Some("status") => command_status(&args[1..]),
+        Some("metrics") => command_metrics(&args[1..]),
         Some("watch") => command_watch(&args[1..]),
         Some("cancel") => command_cancel(&args[1..]),
         Some("fetch-front") => command_fetch_front(&args[1..]),
@@ -195,6 +213,7 @@ struct Options {
     stop_after: Option<usize>,
     threads: Option<usize>,
     front_out: Option<PathBuf>,
+    profile_out: Option<PathBuf>,
     quiet: bool,
 }
 
@@ -210,6 +229,52 @@ impl Options {
             None => spec.optimizer.backend(),
         };
         Executor::shared(backend)
+    }
+
+    /// The telemetry sink for `--profile-out`, or `None`: metrics are
+    /// collected only when a profile was asked for, so the default
+    /// invocation pays nothing.
+    fn profile_sink(&self) -> Option<ProfileSink> {
+        self.profile_out.as_ref().map(|path| ProfileSink {
+            registry: MetricsRegistry::new(),
+            path: path.clone(),
+            started: Instant::now(),
+        })
+    }
+}
+
+/// Everything `--profile-out` needs: the registry the whole invocation
+/// records into, the destination path, and the invocation's start time
+/// (profiles report wall-clock, which is telemetry — it never enters
+/// checkpoints or results).
+struct ProfileSink {
+    registry: MetricsRegistry,
+    path: PathBuf,
+    started: Instant,
+}
+
+impl ProfileSink {
+    /// Snapshots the registry and writes the profile document atomically.
+    fn write(
+        &self,
+        source: &str,
+        label: &str,
+        generations: u64,
+        evaluations: u64,
+    ) -> Result<(), String> {
+        let snapshot = self.registry.snapshot();
+        let data = ProfileData {
+            source,
+            label,
+            generations,
+            evaluations,
+            wall_ms: duration_us(self.started.elapsed()) / 1000,
+            snapshot: &snapshot,
+        };
+        write_profile_file(&self.path, &data)
+            .map_err(|err| format!("profile write failed: {}: {err}", self.path.display()))?;
+        println!("profile: {}", self.path.display());
+        Ok(())
     }
 }
 
@@ -249,6 +314,7 @@ fn parse_options(args: &[OsString], what: &str) -> Result<Options, CliError> {
         stop_after: None,
         threads: None,
         front_out: None,
+        profile_out: None,
         quiet: false,
     };
     let mut iter = args.iter();
@@ -260,6 +326,9 @@ fn parse_options(args: &[OsString], what: &str) -> Result<Options, CliError> {
             Some("--out-dir") => options.out_dir = Some(path_value(&mut iter, "--out-dir")?),
             Some("--spec") => options.spec_override = Some(path_value(&mut iter, "--spec")?),
             Some("--front-out") => options.front_out = Some(path_value(&mut iter, "--front-out")?),
+            Some("--profile-out") => {
+                options.profile_out = Some(path_value(&mut iter, "--profile-out")?);
+            }
             Some("--stop-after") => {
                 options.stop_after = Some(numeric_value(&mut iter, "--stop-after")?);
             }
@@ -317,8 +386,17 @@ fn command_run(args: &[OsString]) -> Result<(), CliError> {
     // checkpoint hash, which is always taken from the original spec.
     let mut exec_spec = spec.clone();
     exec_spec.log_every = None;
-    let driver = spec_driver_with_executor(&exec_spec, &problem, executor);
-    execute(driver, &spec, &store, &options)
+    let profile = options.profile_sink();
+    if let Some(sink) = &profile {
+        executor.set_metrics(sink.registry.clone());
+    }
+    let mut driver = spec_driver_with_executor(&exec_spec, &problem, Arc::clone(&executor));
+    if let Some(sink) = &profile {
+        driver = driver.with_metrics(sink.registry.clone());
+    }
+    execute(
+        driver, &spec, &store, &options, &problem, &executor, profile,
+    )
 }
 
 fn describe_executor(executor: &Executor) -> String {
@@ -367,10 +445,23 @@ fn command_resume(args: &[OsString]) -> Result<(), CliError> {
 
     let mut exec_spec = spec.clone();
     exec_spec.log_every = None;
-    let driver =
-        resume_spec_driver_with_executor(&exec_spec, &problem, stored.checkpoint, executor)
-            .map_err(|err| CliError::failed(format!("cannot resume: {err}")))?;
-    execute(driver, &spec, &store, &options)
+    let profile = options.profile_sink();
+    if let Some(sink) = &profile {
+        executor.set_metrics(sink.registry.clone());
+    }
+    let mut driver = resume_spec_driver_with_executor(
+        &exec_spec,
+        &problem,
+        stored.checkpoint,
+        Arc::clone(&executor),
+    )
+    .map_err(|err| CliError::failed(format!("cannot resume: {err}")))?;
+    if let Some(sink) = &profile {
+        driver = driver.with_metrics(sink.registry.clone());
+    }
+    execute(
+        driver, &spec, &store, &options, &problem, &executor, profile,
+    )
 }
 
 /// What a finished (or `--stop-after`-interrupted) generation loop leaves
@@ -391,21 +482,25 @@ fn execute(
     spec: &RunSpec,
     store: &CheckpointStore,
     options: &Options,
+    problem: &AnyProblem,
+    executor: &Executor,
+    profile: Option<ProfileSink>,
 ) -> Result<(), CliError> {
     let progress_every = spec
         .log_every
         .unwrap_or(spec.stopping.max_generations / 20)
         .max(1);
+    let metrics = profile.as_ref().map(|sink| &sink.registry);
 
     let result = if options.quiet {
-        drive(driver, spec, store, options.stop_after)
+        drive(driver, spec, store, options.stop_after, metrics)
     } else {
         // The driver steps on a worker thread; the main thread renders the
         // generation reports streaming out of the channel observer.
         let (observer, reports) = ChannelObserver::channel();
         let driver = driver.with_observer(observer);
         std::thread::scope(|scope| {
-            let worker = scope.spawn(|| drive(driver, spec, store, options.stop_after));
+            let worker = scope.spawn(|| drive(driver, spec, store, options.stop_after, metrics));
             // Ends when the worker finishes: `drive` drops the driver (and
             // with it the observer), which closes the channel.
             for report in reports {
@@ -420,12 +515,24 @@ fn execute(
     // output — final checkpoint AND front file — before reporting any write
     // failure, so one broken destination never discards what the other
     // could still persist.
-    let final_saved = store.save(&result.checkpoint);
+    let final_saved = {
+        let _span = metrics.map(|m| m.phase("checkpoint_write"));
+        store.save(&result.checkpoint)
+    };
     println!(
         "done: {} generations, {} evaluations, {} non-dominated solutions",
         result.generation,
         result.evaluations,
         result.front.len()
+    );
+    let stats = executor.stats();
+    println!(
+        "executor: {} worker lane{}, {} queued chunk{}, {} active",
+        stats.workers,
+        if stats.workers == 1 { "" } else { "s" },
+        stats.queued_chunks,
+        if stats.queued_chunks == 1 { "" } else { "s" },
+        stats.active_workers
     );
     if let Ok(final_path) = &final_saved {
         println!("checkpoint: {}", final_path.display());
@@ -448,12 +555,29 @@ fn execute(
         }
     }
     print_front_summary(&result.front);
+    let mut profile_error = None;
+    if let Some(sink) = &profile {
+        // Oracle counters accumulate on the problem; dump them into the
+        // registry once, now that evaluation is over.
+        problem.record_oracle_metrics(&sink.registry);
+        if let Err(message) = sink.write(
+            "run",
+            &options.target.display().to_string(),
+            result.generation as u64,
+            result.evaluations as u64,
+        ) {
+            profile_error = Some(message);
+        }
+    }
     if let Err(err) = final_saved {
         return Err(CliError::failed(format!(
             "final checkpoint write failed: {err}"
         )));
     }
     if let Some(message) = front_error {
+        return Err(CliError::failed(message));
+    }
+    if let Some(message) = profile_error {
         return Err(CliError::failed(message));
     }
     if let Some(err) = result.checkpoint_error {
@@ -481,6 +605,7 @@ fn drive(
     spec: &RunSpec,
     store: &CheckpointStore,
     stop_after: Option<usize>,
+    metrics: Option<&MetricsRegistry>,
 ) -> RunResult {
     let mut checkpoint_error = None;
     loop {
@@ -500,6 +625,7 @@ fn drive(
             break; // the stopping rule fired before any generation ran
         }
         if spec.checkpoint_every > 0 && driver.generation().is_multiple_of(spec.checkpoint_every) {
+            let _span = metrics.map(|m| m.phase("checkpoint_write"));
             if let Err(err) = store.save(&driver.checkpoint()) {
                 eprintln!(
                     "warning: checkpoint write failed at generation {}: {err}",
@@ -623,15 +749,31 @@ fn command_sweep(args: &[OsString]) -> Result<(), CliError> {
             }
         }
     };
-    let report = run_sweep(
+    let profile = options.profile_sink();
+    let report = run_sweep_with_metrics(
         &sweep,
         &out_dir,
         executor,
         options.stop_after,
+        profile.as_ref().map(|sink| &sink.registry),
         &mut print_event,
     )
     .map_err(CliError::failed)?;
     print_sweep_report(&report, options.stop_after);
+    if let Some(sink) = &profile {
+        // A sweep has no single generation count; report what the registry
+        // actually saw across every cell this invocation ran.
+        let snapshot = sink.registry.snapshot();
+        let generations = snapshot.counter("phase.generation.calls").unwrap_or(0);
+        let evaluations = snapshot.counter("exec.candidates").unwrap_or(0);
+        sink.write(
+            "sweep",
+            &options.target.display().to_string(),
+            generations,
+            evaluations,
+        )
+        .map_err(CliError::Failed)?;
+    }
     Ok(())
 }
 
@@ -681,6 +823,48 @@ fn command_ledger_check(args: &[OsString]) -> Result<(), CliError> {
             )))
         }
     }
+}
+
+/// Validates a telemetry profile (`--profile-out` output, a committed
+/// `BENCH_profile.json`, or a saved `pathway metrics` snapshot) against the
+/// `pathway-profile` schema, then checks that the per-phase timings are
+/// plausible against the generation total. CI runs this on freshly emitted
+/// and committed profiles.
+fn command_profile_check(args: &[OsString]) -> Result<(), CliError> {
+    let [path] = args else {
+        return Err(CliError::Usage(
+            "profile-check takes exactly one profile.json argument".to_string(),
+        ));
+    };
+    let path = Path::new(path);
+    let text = std::fs::read_to_string(path)
+        .map_err(|err| CliError::failed(format!("cannot read {}: {err}", path.display())))?;
+    let check = match validate_profile_json(&text) {
+        Ok(check) => check,
+        Err(problems) => {
+            for problem in &problems {
+                eprintln!("{}: {problem}", path.display());
+            }
+            return Err(CliError::failed(format!(
+                "{} profile schema violation(s)",
+                problems.len()
+            )));
+        }
+    };
+    check_phase_balance(&check)
+        .map_err(|err| CliError::failed(format!("{}: {err}", path.display())))?;
+    println!(
+        "{}: valid {} profile for '{}' ({} generations, {} evaluations, \
+         {} phases, {} ms wall clock)",
+        path.display(),
+        check.source,
+        check.label,
+        check.generations,
+        check.evaluations,
+        check.phases.len(),
+        check.wall_ms
+    );
+    Ok(())
 }
 
 fn command_inspect(args: &[OsString]) -> Result<(), CliError> {
@@ -996,6 +1180,25 @@ fn command_status(args: &[OsString]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Fetches the daemon's live telemetry snapshot — the same
+/// `pathway-profile` document `--profile-out` writes, with `source`
+/// `"serve"` — and prints it, or writes it with `--out`.
+fn command_metrics(args: &[OsString]) -> Result<(), CliError> {
+    let target = parse_client_target(args, None)?;
+    let mut client = target.connect()?;
+    let profile = client.metrics().map_err(CliError::failed)?;
+    let text = profile.to_pretty();
+    match &target.out {
+        Some(path) => {
+            std::fs::write(path, &text)
+                .map_err(|err| CliError::failed(format!("{}: {err}", path.display())))?;
+            println!("profile: {}", path.display());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
 fn command_watch(args: &[OsString]) -> Result<(), CliError> {
     let target = parse_client_target(args, Some("job id"))?;
     let job = target.job_id("job id")?;
@@ -1007,16 +1210,18 @@ fn command_watch(args: &[OsString]) -> Result<(), CliError> {
                 evaluations,
                 front_size,
                 hypervolume,
+                duration_us,
                 ..
             } = event
             {
                 println!(
-                    "[{job} gen {generation:>6}] evals {evaluations:>9}  front {front_size:>4}  hv {}",
+                    "[{job} gen {generation:>6}] evals {evaluations:>9}  front {front_size:>4}  hv {:<13}  ({:.1?})",
                     if hypervolume.is_nan() {
                         "-".to_string()
                     } else {
                         format!("{hypervolume:.6e}")
-                    }
+                    },
+                    Duration::from_micros(*duration_us)
                 );
             }
         })

@@ -490,3 +490,56 @@ fn inspect_describes_sweeps() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// `--profile-out` is a pure observer: the metered run's front is
+/// byte-identical to an unmetered run of the same spec, and the profile it
+/// leaves behind survives `profile-check` (schema + phase-timing balance).
+#[test]
+fn profile_out_is_observational_and_passes_profile_check() {
+    let dir = temp_dir("profile");
+    let spec = write_spec(&dir, "serial");
+    let plain_front = dir.join("plain.front");
+    let metered_front = dir.join("metered.front");
+    let profile = dir.join("profile.json");
+    run_ok(&[
+        "run",
+        spec.to_str().unwrap(),
+        "--checkpoint-dir",
+        dir.join("ckpt-plain").to_str().unwrap(),
+        "--front-out",
+        plain_front.to_str().unwrap(),
+        "--quiet",
+    ]);
+    let output = run_ok(&[
+        "run",
+        spec.to_str().unwrap(),
+        "--checkpoint-dir",
+        dir.join("ckpt-metered").to_str().unwrap(),
+        "--front-out",
+        metered_front.to_str().unwrap(),
+        "--profile-out",
+        profile.to_str().unwrap(),
+        "--quiet",
+    ]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("executor: 1 worker lane"), "{stdout}");
+    assert!(stdout.contains("profile: "), "{stdout}");
+    assert_identical(&plain_front, &metered_front);
+
+    let output = run_ok(&["profile-check", profile.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("valid run profile"), "{stdout}");
+    assert!(stdout.contains("12 generations"), "{stdout}");
+
+    // Corruption fails loudly with exit 1, like ledger-check.
+    let text = std::fs::read_to_string(&profile).unwrap();
+    std::fs::write(&profile, text.replace("pathway-profile", "renamed")).unwrap();
+    let output = pathway()
+        .args(["profile-check", profile.to_str().unwrap()])
+        .output()
+        .expect("spawn pathway");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("'format'"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}

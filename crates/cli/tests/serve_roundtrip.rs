@@ -251,6 +251,24 @@ fn watch_streams_until_completion() {
         stdout.contains("job-0001: completed at generation 8"),
         "watch should report the terminal state, got:\n{stdout}"
     );
+    assert!(
+        streamed.iter().all(|line| line.ends_with(')')),
+        "each generation line should end with its duration, got:\n{stdout}"
+    );
+
+    // The daemon's live telemetry snapshot round-trips through
+    // `metrics --out` and passes profile-check.
+    let profile = dir.join("daemon-profile.json");
+    run_ok(&[
+        "metrics",
+        "--addr",
+        &addr,
+        "--out",
+        profile.to_str().unwrap(),
+    ]);
+    let output = run_ok(&["profile-check", profile.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("valid serve profile"), "{stdout}");
 
     run_ok(&["shutdown", "--addr", &addr]);
     drop(daemon);

@@ -1,8 +1,26 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use pathway_fba::geobacter::GeobacterModel;
 use pathway_fba::{
     steady_state_violation, steady_state_violation_batch, FluxBalanceAnalysis, MetabolicModel,
 };
+use pathway_moo::engine::MetricsRegistry;
 use pathway_moo::MultiObjectiveProblem;
+
+/// Cumulative oracle-call counters, shared across clones of a problem (an
+/// `Arc` inside the problem) so that per-chunk clones handed to worker
+/// threads all feed one tally.
+#[derive(Debug, Default)]
+struct OracleStats {
+    /// Full FBA (simplex) solves — two at construction for the reference
+    /// distribution, none on the evaluation path.
+    fba_solves: AtomicU64,
+    /// Batched steady-state kernels (one sparse × dense product per batch).
+    batch_kernels: AtomicU64,
+    /// Candidates scored through the steady-state oracle.
+    candidates: AtomicU64,
+}
 
 /// A candidate solution of the Geobacter flux problem, decoded back into the
 /// quantities the paper reports (Figure 4).
@@ -36,6 +54,7 @@ pub struct GeobacterFluxProblem {
     reference: Vec<f64>,
     bounds: Vec<(f64, f64)>,
     violation_tolerance: f64,
+    oracle: Arc<OracleStats>,
 }
 
 impl GeobacterFluxProblem {
@@ -91,6 +110,8 @@ impl GeobacterFluxProblem {
                 }
             })
             .collect();
+        let oracle = Arc::new(OracleStats::default());
+        oracle.fba_solves.fetch_add(2, Ordering::Relaxed);
         Ok(GeobacterFluxProblem {
             biomass_reaction: geobacter.biomass_reaction(),
             electron_reaction: geobacter.electron_reaction(),
@@ -98,7 +119,28 @@ impl GeobacterFluxProblem {
             reference,
             bounds,
             violation_tolerance,
+            oracle,
         })
+    }
+
+    /// Dumps the cumulative oracle counters into `registry` as
+    /// `oracle.fba.solves`, `oracle.fba.batch_kernels` and
+    /// `oracle.fba.candidates`. Call once when an invocation finishes —
+    /// the counts are totals since construction, shared by every clone of
+    /// this problem.
+    pub fn record_oracle_metrics(&self, registry: &MetricsRegistry) {
+        registry.add(
+            "oracle.fba.solves",
+            self.oracle.fba_solves.load(Ordering::Relaxed),
+        );
+        registry.add(
+            "oracle.fba.batch_kernels",
+            self.oracle.batch_kernels.load(Ordering::Relaxed),
+        );
+        registry.add(
+            "oracle.fba.candidates",
+            self.oracle.candidates.load(Ordering::Relaxed),
+        );
     }
 
     /// The reference (steady-state) flux distribution the search box is
@@ -154,6 +196,9 @@ impl MultiObjectiveProblem for GeobacterFluxProblem {
     /// keep the serial/threaded determinism contract.
     fn evaluate_batch(&self, xs: &[Vec<f64>]) -> Vec<(Vec<f64>, f64)> {
         let reactions = self.model.num_reactions();
+        self.oracle
+            .candidates
+            .fetch_add(xs.len() as u64, Ordering::Relaxed);
         if xs.is_empty() || xs.iter().any(|x| x.len() != reactions) {
             // Mis-sized candidates score INFINITY violation per candidate in
             // the itemwise path; fall back to it rather than failing the
@@ -163,6 +208,7 @@ impl MultiObjectiveProblem for GeobacterFluxProblem {
                 .map(|x| (self.evaluate(x), self.constraint_violation(x)))
                 .collect();
         }
+        self.oracle.batch_kernels.fetch_add(1, Ordering::Relaxed);
         let residuals = steady_state_violation_batch(&self.model, xs)
             .expect("candidate lengths were checked above");
         xs.iter()
@@ -257,6 +303,20 @@ mod tests {
         let model = GeobacterModel::builder().reactions(200).build();
         let problem = GeobacterFluxProblem::new(&model).expect("mid-scale model is feasible");
         assert_eq!(problem.num_variables(), 200);
+    }
+
+    #[test]
+    fn oracle_counters_are_shared_by_clones_and_count_batches() {
+        let problem = small_problem();
+        let clone = problem.clone();
+        let xs = vec![problem.reference_fluxes().to_vec(); 3];
+        clone.evaluate_batch(&xs);
+        let registry = MetricsRegistry::new();
+        problem.record_oracle_metrics(&registry);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("oracle.fba.solves"), Some(2));
+        assert_eq!(snapshot.counter("oracle.fba.batch_kernels"), Some(1));
+        assert_eq!(snapshot.counter("oracle.fba.candidates"), Some(3));
     }
 
     /// The full 608-reaction problem of Figure 4. The workspace builds

@@ -44,6 +44,7 @@ mod report;
 mod study;
 
 pub mod jsonlite;
+pub mod obs;
 pub mod prelude;
 pub mod sweep;
 

@@ -13,9 +13,11 @@
 //! the whole autocatalytic transient from the cold-start state every time.
 
 use std::cmp::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::RwLock;
 
 use pathway_linalg::Vector;
+use pathway_moo::engine::MetricsRegistry;
 use pathway_moo::MultiObjectiveProblem;
 use pathway_photosynthesis::{EnzymePartition, OdeUptakeEvaluator, Scenario};
 
@@ -99,6 +101,10 @@ pub struct OdeLeafRedesignProblem {
     evaluator: OdeUptakeEvaluator,
     bounds: Vec<(f64, f64)>,
     pool: RwLock<WarmStartPool>,
+    /// Integrations that started from a parent steady state.
+    warm_starts: AtomicU64,
+    /// Integrations that spooled up from the cold-start state.
+    cold_starts: AtomicU64,
 }
 
 impl OdeLeafRedesignProblem {
@@ -115,7 +121,24 @@ impl OdeLeafRedesignProblem {
             evaluator: OdeUptakeEvaluator::fast(),
             bounds: EnzymePartition::bounds(0.02, 4.0),
             pool: RwLock::new(WarmStartPool::default()),
+            warm_starts: AtomicU64::new(0),
+            cold_starts: AtomicU64::new(0),
         }
+    }
+
+    /// Dumps the cumulative warm-start counters into `registry` as
+    /// `oracle.ode.warm_starts` and `oracle.ode.cold_starts`. Call once
+    /// when an invocation finishes; the hit rate (`warm / (warm + cold)`)
+    /// is the amortization the module docs describe.
+    pub fn record_oracle_metrics(&self, registry: &MetricsRegistry) {
+        registry.add(
+            "oracle.ode.warm_starts",
+            self.warm_starts.load(AtomicOrdering::Relaxed),
+        );
+        registry.add(
+            "oracle.ode.cold_starts",
+            self.cold_starts.load(AtomicOrdering::Relaxed),
+        );
     }
 
     /// Overrides the steady-state evaluator (tolerances, horizon, step).
@@ -183,10 +206,15 @@ impl OdeLeafRedesignProblem {
         let partition = EnzymePartition::new(x.to_vec());
         let nitrogen = partition.total_nitrogen();
         let solved = match self.warm_start(x) {
-            Some(y0) => self
-                .evaluator
-                .steady_state_from(&partition, &self.scenario, y0),
-            None => self.evaluator.steady_state(&partition, &self.scenario),
+            Some(y0) => {
+                self.warm_starts.fetch_add(1, AtomicOrdering::Relaxed);
+                self.evaluator
+                    .steady_state_from(&partition, &self.scenario, y0)
+            }
+            None => {
+                self.cold_starts.fetch_add(1, AtomicOrdering::Relaxed);
+                self.evaluator.steady_state(&partition, &self.scenario)
+            }
         };
         match solved {
             Ok((steady, uptake)) => (vec![-uptake, nitrogen], Some(steady.state)),
@@ -352,6 +380,27 @@ mod tests {
         assert_eq!(
             serial_problem.warm_start_pool_size(),
             pooled_problem.warm_start_pool_size()
+        );
+    }
+
+    #[test]
+    fn oracle_counters_split_cold_and_warm_starts() {
+        let problem = OdeLeafRedesignProblem::new(Scenario::present_low_export());
+        let xs = small_batch();
+        problem.prepare_batch(&xs);
+        problem.evaluate_batch(&xs); // cold pool: every start is cold
+        problem.prepare_batch(&xs);
+        problem.evaluate_batch(&xs); // committed parents: every start is warm
+        let registry = MetricsRegistry::new();
+        problem.record_oracle_metrics(&registry);
+        let snapshot = registry.snapshot();
+        assert_eq!(
+            snapshot.counter("oracle.ode.cold_starts"),
+            Some(xs.len() as u64)
+        );
+        assert_eq!(
+            snapshot.counter("oracle.ode.warm_starts"),
+            Some(xs.len() as u64)
         );
     }
 

@@ -29,7 +29,8 @@ use std::sync::Arc;
 
 use pathway_fba::geobacter::GeobacterModel;
 use pathway_moo::engine::{
-    AnyOptimizer, Driver, EngineError, LogObserver, ProblemSpec, RunCheckpoint, RunSpec, SpecError,
+    AnyOptimizer, Driver, EngineError, LogObserver, MetricsRegistry, ProblemSpec, RunCheckpoint,
+    RunSpec, SpecError,
 };
 use pathway_moo::exec::Executor;
 use pathway_moo::problems::{BinhKorn, Dtlz2, Schaffer, Zdt1, Zdt2};
@@ -239,6 +240,16 @@ impl AnyProblem {
                 Ok(AnyProblem::Dtlz2(Dtlz2 { variables }))
             }
             _ => unreachable!("catalog lookup succeeded above"),
+        }
+    }
+
+    /// Dumps the problem's cumulative oracle counters (if it keeps any)
+    /// into `registry`: the Geobacter problem reports its
+    /// `oracle.fba.*` tallies; the benchmark problems have no expensive
+    /// oracle and record nothing. Call once when an invocation finishes.
+    pub fn record_oracle_metrics(&self, registry: &MetricsRegistry) {
+        if let AnyProblem::Geobacter(problem) = self {
+            problem.record_oracle_metrics(registry);
         }
     }
 

@@ -32,7 +32,7 @@ use std::sync::Arc;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use pathway_moo::engine::{
-    CheckpointError, CheckpointStore, EngineError, SpecError, SweepCell, SweepSpec,
+    CheckpointError, CheckpointStore, EngineError, MetricsRegistry, SpecError, SweepCell, SweepSpec,
 };
 use pathway_moo::exec::Executor;
 use pathway_moo::metrics::{global_coverage, hypervolume, union_front};
@@ -216,6 +216,30 @@ pub fn run_sweep(
     stop_after: Option<usize>,
     progress: &mut dyn FnMut(SweepEvent<'_>),
 ) -> Result<SweepReport, SweepError> {
+    run_sweep_with_metrics(sweep, out_dir, executor, stop_after, None, progress)
+}
+
+/// [`run_sweep`] with telemetry: when `metrics` is set, the registry is
+/// installed on the shared executor, attached to every cell's driver (phase
+/// spans accumulate across cells), and each completed or interrupted cell
+/// dumps its problem's oracle counters into it. Telemetry is observational:
+/// results, checkpoints and the ledger are bit-identical with or without a
+/// registry.
+///
+/// # Errors
+///
+/// Same as [`run_sweep`].
+pub fn run_sweep_with_metrics(
+    sweep: &SweepSpec,
+    out_dir: &Path,
+    executor: Arc<Executor>,
+    stop_after: Option<usize>,
+    metrics: Option<&MetricsRegistry>,
+    progress: &mut dyn FnMut(SweepEvent<'_>),
+) -> Result<SweepReport, SweepError> {
+    if let Some(registry) = metrics {
+        executor.set_metrics(registry.clone());
+    }
     let cells = sweep.expand()?;
     let fronts_dir = out_dir.join("fronts");
     std::fs::create_dir_all(&fronts_dir).map_err(|err| io_err(&fronts_dir, err))?;
@@ -268,13 +292,22 @@ pub fn run_sweep(
                 None,
             ),
         };
+        if let Some(registry) = metrics {
+            driver = driver.with_metrics(registry.clone());
+        }
         progress(SweepEvent::CellStarted { cell, resumed_from });
         loop {
             if driver.should_stop() {
                 break;
             }
             if remaining == Some(0) {
-                store.save(&driver.checkpoint())?;
+                {
+                    let _span = metrics.map(|m| m.phase("checkpoint_write"));
+                    store.save(&driver.checkpoint())?;
+                }
+                if let Some(registry) = metrics {
+                    problem.record_oracle_metrics(registry);
+                }
                 progress(SweepEvent::SweepInterrupted {
                     cell,
                     generation: driver.generation(),
@@ -303,6 +336,7 @@ pub fn run_sweep(
                     .generation()
                     .is_multiple_of(cell.spec.checkpoint_every)
             {
+                let _span = metrics.map(|m| m.phase("checkpoint_write"));
                 store.save(&driver.checkpoint())?;
             }
             if ran < budget {
@@ -311,7 +345,10 @@ pub fn run_sweep(
         }
         // One final checkpoint so the finished cell is durable and
         // inspectable like any single run.
-        store.save(&driver.checkpoint())?;
+        {
+            let _span = metrics.map(|m| m.phase("checkpoint_write"));
+            store.save(&driver.checkpoint())?;
+        }
         let front = driver.front();
         let front_path = fronts_dir.join(format!("{}.front", cell.label()));
         write_front_file(&front_path, &front).map_err(|err| io_err(&front_path, err))?;
@@ -335,6 +372,9 @@ pub fn run_sweep(
         };
         ledger.append(row)?;
         ledger.write_json(sweep, &cells, &fronts_dir)?;
+        if let Some(registry) = metrics {
+            problem.record_oracle_metrics(registry);
+        }
         report.completed += 1;
         progress(SweepEvent::CellCompleted {
             cell,
@@ -1182,6 +1222,46 @@ max_generations = 4
         let after = std::fs::read(dir.join("ledger.md")).unwrap();
         assert_eq!(before, after);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn telemetry_leaves_the_ledger_bit_identical_and_records_phases() {
+        let plain_dir = temp_dir("plain");
+        let metered_dir = temp_dir("metered");
+        let sweep = SweepSpec::from_text(SWEEP).unwrap();
+        let executor = Executor::shared(EvalBackend::Serial);
+        run_sweep(&sweep, &plain_dir, executor.clone(), None, &mut |_| {}).unwrap();
+        let registry = MetricsRegistry::new();
+        run_sweep_with_metrics(
+            &sweep,
+            &metered_dir,
+            executor,
+            None,
+            Some(&registry),
+            &mut |_| {},
+        )
+        .unwrap();
+        // Fronts are bit-exact files; telemetry must not perturb them.
+        for cell in 0..2 {
+            let name = format!("fronts/cell-000{cell}.front");
+            assert_eq!(
+                std::fs::read(plain_dir.join(&name)).unwrap(),
+                std::fs::read(metered_dir.join(&name)).unwrap(),
+                "{name} diverged under telemetry"
+            );
+        }
+        let snapshot = registry.snapshot();
+        // 2 cells × 4 generations each.
+        assert_eq!(snapshot.counter("phase.generation.calls"), Some(8));
+        assert!(
+            snapshot
+                .counter("phase.checkpoint_write.calls")
+                .unwrap_or(0)
+                >= 2
+        );
+        assert!(snapshot.counter("exec.candidates").unwrap_or(0) > 0);
+        std::fs::remove_dir_all(&plain_dir).ok();
+        std::fs::remove_dir_all(&metered_dir).ok();
     }
 
     #[test]

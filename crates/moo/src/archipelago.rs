@@ -1,8 +1,10 @@
 use std::sync::Arc;
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::engine::telemetry::MetricsRegistry;
 use crate::engine::{ArchipelagoState, EngineError, Optimizer, OptimizerState, RngState};
 use crate::exec::Executor;
 use crate::{EvalBackend, Individual, MultiObjectiveProblem, Nsga2, Nsga2Config, ParetoArchive};
@@ -107,6 +109,10 @@ pub struct Archipelago {
     /// feed the same worker pool instead of spawning one pool per island.
     /// Configuration, not run state — never checkpointed.
     executor: Option<Arc<Executor>>,
+    /// Telemetry sink for migration timings; forwarded to every island so
+    /// their variation/selection phases land in the same registry. Like
+    /// the executor: observational only, never checkpointed.
+    metrics: Option<MetricsRegistry>,
 }
 
 /// Alias emphasising that the archipelago with its default configuration *is*
@@ -148,6 +154,7 @@ impl Archipelago {
             migration_rng: StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9)),
             generations_done: 0,
             executor: None,
+            metrics: None,
         }
     }
 
@@ -166,6 +173,17 @@ impl Archipelago {
             island.set_executor(Arc::clone(&executor));
         }
         self.executor = Some(executor);
+    }
+
+    /// Attaches one telemetry registry to the archipelago and every
+    /// island. Islands step concurrently, so per-phase times recorded
+    /// here are CPU time summed across islands and can exceed the
+    /// generation's wall-clock. Observational only.
+    pub fn set_metrics(&mut self, registry: MetricsRegistry) {
+        for island in &mut self.islands {
+            island.set_metrics(registry.clone());
+        }
+        self.metrics = Some(registry);
     }
 
     /// Ensures every island evaluates on one shared executor, building it
@@ -320,6 +338,7 @@ impl Archipelago {
         if matches!(self.config.topology, MigrationTopology::Isolated) || self.islands.len() < 2 {
             return;
         }
+        let migration_started = Instant::now();
         // Refresh each island's archive with its current front, then export
         // the archive members.
         let exports: Vec<Vec<Individual>> = self
@@ -385,6 +404,9 @@ impl Archipelago {
             if got_migrants {
                 island.refresh_ranks();
             }
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.record_phase("migration", migration_started.elapsed());
         }
     }
 
@@ -495,6 +517,10 @@ impl<P: MultiObjectiveProblem> Optimizer<P> for Archipelago {
                 found: other.kind(),
             }),
         }
+    }
+
+    fn set_metrics(&mut self, registry: MetricsRegistry) {
+        Archipelago::set_metrics(self, registry);
     }
 }
 

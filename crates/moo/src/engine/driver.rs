@@ -2,6 +2,7 @@
 
 use std::time::Instant;
 
+use crate::engine::telemetry::MetricsRegistry;
 use crate::engine::{
     EngineError, GenerationReport, Observer, Optimizer, OptimizerState, RunStatus, StoppingRule,
 };
@@ -95,6 +96,9 @@ pub struct Driver<P: MultiObjectiveProblem, O: Optimizer<P>> {
     reference_point: Option<Vec<f64>>,
     generation: usize,
     hypervolume_history: Vec<f64>,
+    /// Telemetry sink (see [`Driver::with_metrics`]). Observational only:
+    /// never checkpointed, never read by the search.
+    metrics: Option<MetricsRegistry>,
 }
 
 impl<P: MultiObjectiveProblem, O: Optimizer<P>> Driver<P, O> {
@@ -113,6 +117,7 @@ impl<P: MultiObjectiveProblem, O: Optimizer<P>> Driver<P, O> {
             reference_point: None,
             generation: 0,
             hypervolume_history: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -141,6 +146,7 @@ impl<P: MultiObjectiveProblem, O: Optimizer<P>> Driver<P, O> {
             reference_point: checkpoint.reference_point,
             generation: checkpoint.generation,
             hypervolume_history: checkpoint.hypervolume_history,
+            metrics: None,
         })
     }
 
@@ -165,6 +171,20 @@ impl<P: MultiObjectiveProblem, O: Optimizer<P>> Driver<P, O> {
     #[must_use]
     pub fn with_reference_point(mut self, reference: Vec<f64>) -> Self {
         self.reference_point = Some(reference);
+        self
+    }
+
+    /// Attaches a telemetry registry to the driver *and* the optimizer:
+    /// each generation records a `phase.generation.*` span (plus a
+    /// `phase.telemetry.*` span for front/hypervolume extraction on
+    /// observed steps), and the optimizer records its own phase breakdown
+    /// (variation, selection, migration, …). Purely observational — the
+    /// determinism suite proves runs are bit-identical with and without a
+    /// registry attached.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.optimizer.set_metrics(registry.clone());
+        self.metrics = Some(registry);
         self
     }
 
@@ -239,7 +259,11 @@ impl<P: MultiObjectiveProblem, O: Optimizer<P>> Driver<P, O> {
         self.optimizer.step(&self.problem);
         let wall_clock = started.elapsed();
         self.generation += 1;
+        if let Some(metrics) = &self.metrics {
+            metrics.record_phase("generation", wall_clock);
+        }
 
+        let telemetry_started = Instant::now();
         let front = self.optimizer.front();
         let objectives: Vec<Vec<f64>> = front.iter().map(|i| i.objectives.clone()).collect();
         if self.reference_point.is_none() {
@@ -252,6 +276,9 @@ impl<P: MultiObjectiveProblem, O: Optimizer<P>> Driver<P, O> {
             _ => f64::NAN,
         };
         self.hypervolume_history.push(hypervolume);
+        if let Some(metrics) = &self.metrics {
+            metrics.record_phase("telemetry", telemetry_started.elapsed());
+        }
 
         let report = GenerationReport {
             generation: self.generation,
@@ -308,7 +335,11 @@ impl<P: MultiObjectiveProblem, O: Optimizer<P>> Driver<P, O> {
     /// spans generations whose hypervolume was simply not computed.
     fn step_untracked(&mut self) {
         self.optimizer.initialize(&self.problem);
+        let started = Instant::now();
         self.optimizer.step(&self.problem);
+        if let Some(metrics) = &self.metrics {
+            metrics.record_phase("generation", started.elapsed());
+        }
         self.generation += 1;
     }
 

@@ -52,6 +52,7 @@ mod state;
 mod stopping;
 mod store;
 mod sweep;
+pub mod telemetry;
 
 pub use driver::{Driver, RunCheckpoint};
 pub use observer::{
@@ -68,6 +69,9 @@ pub use store::{
     CheckpointError, CheckpointRetention, CheckpointStore, StoredCheckpoint,
 };
 pub use sweep::{is_sweep_text, SweepAxis, SweepCell, SweepSpec, MAX_SWEEP_CELLS, SWEEP_HEADER};
+pub use telemetry::{
+    HistogramSnapshot, Metric, MetricsRegistry, MetricsSnapshot, PhaseSpan, METRIC_SHARDS,
+};
 
 use crate::{Individual, MultiObjectiveProblem};
 
@@ -119,4 +123,11 @@ pub trait Optimizer<P: MultiObjectiveProblem> {
     /// different optimizer kind, and [`EngineError::ConfigMismatch`] when
     /// its shape disagrees with this optimizer's configuration.
     fn restore(&mut self, state: OptimizerState) -> Result<(), EngineError>;
+
+    /// Attaches a telemetry registry. Purely observational: an optimizer
+    /// with metrics attached takes the exact search trajectory one
+    /// without would. The default implementation records nothing.
+    fn set_metrics(&mut self, registry: MetricsRegistry) {
+        let _ = registry;
+    }
 }

@@ -56,6 +56,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::engine::store::CheckpointRetention;
+use crate::engine::telemetry::MetricsRegistry;
 use crate::engine::{EngineError, Optimizer, OptimizerState, StoppingRule};
 use crate::exec::Executor;
 use crate::{
@@ -1200,6 +1201,20 @@ impl AnyOptimizer {
             AnyOptimizer::Archipelago(inner) => inner.set_executor(executor),
         }
     }
+
+    /// Attaches a telemetry registry to the wrapped optimizer — for the
+    /// archipelago, to every island. Observational only, like
+    /// [`set_executor`](AnyOptimizer::set_executor). MOEA/D evaluates its
+    /// children inline per sub-problem rather than in phased batches, so
+    /// it records no optimizer-level phases; executor- and driver-level
+    /// spans still cover it.
+    pub fn set_metrics(&mut self, registry: MetricsRegistry) {
+        match self {
+            AnyOptimizer::Nsga2(inner) => inner.set_metrics(registry),
+            AnyOptimizer::Moead(_) => {}
+            AnyOptimizer::Archipelago(inner) => inner.set_metrics(registry),
+        }
+    }
 }
 
 impl<P: MultiObjectiveProblem> Optimizer<P> for AnyOptimizer {
@@ -1257,6 +1272,10 @@ impl<P: MultiObjectiveProblem> Optimizer<P> for AnyOptimizer {
             AnyOptimizer::Moead(inner) => Optimizer::<P>::restore(inner.as_mut(), state),
             AnyOptimizer::Archipelago(inner) => Optimizer::<P>::restore(inner.as_mut(), state),
         }
+    }
+
+    fn set_metrics(&mut self, registry: MetricsRegistry) {
+        AnyOptimizer::set_metrics(self, registry);
     }
 }
 

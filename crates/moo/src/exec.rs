@@ -53,13 +53,25 @@
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
+use crate::engine::telemetry::{duration_us, MetricsRegistry};
 use crate::{EvalBackend, Individual, MultiObjectiveProblem};
 
 /// A type-erased unit of work shipped to a pool worker.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Histogram bucket bounds (µs) for time a chunk waits in the pool queue.
+const QUEUE_WAIT_BOUNDS_US: [f64; 10] = [
+    10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+];
+
+/// Histogram bucket bounds (µs) for chunk execution time.
+const CHUNK_BOUNDS_US: [f64; 11] = [
+    50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 25000.0, 50000.0, 100000.0,
+];
 
 /// A point-in-time load snapshot of an [`Executor`] (see
 /// [`Executor::stats`]).
@@ -93,6 +105,11 @@ pub struct ExecutorStats {
 /// joins them.
 pub struct Executor {
     mode: Mode,
+    /// Telemetry sink, attachable after construction (see
+    /// [`Executor::set_metrics`]). A `OnceLock` shared into the worker
+    /// threads at spawn time: the pool outlives any particular registry
+    /// decision, so workers capture the cell, not a registry.
+    metrics: Arc<OnceLock<MetricsRegistry>>,
 }
 
 enum Mode {
@@ -119,7 +136,10 @@ impl Default for Executor {
 impl Executor {
     /// An executor that evaluates on the calling thread.
     pub fn serial() -> Self {
-        Executor { mode: Mode::Serial }
+        Executor {
+            mode: Mode::Serial,
+            metrics: Arc::new(OnceLock::new()),
+        }
     }
 
     /// Builds the executor an [`EvalBackend`] describes:
@@ -131,10 +151,28 @@ impl Executor {
             EvalBackend::Serial | EvalBackend::Threads(0) | EvalBackend::Threads(1) => {
                 Executor::serial()
             }
-            EvalBackend::Threads(workers) => Executor {
-                mode: Mode::Pool(WorkerPool::new(workers)),
-            },
+            EvalBackend::Threads(workers) => {
+                let metrics = Arc::new(OnceLock::new());
+                Executor {
+                    mode: Mode::Pool(WorkerPool::new(workers, Arc::clone(&metrics))),
+                    metrics,
+                }
+            }
         }
+    }
+
+    /// Attaches a telemetry registry. Callable on a shared `Arc<Executor>`
+    /// at any point after construction; the first call wins and later
+    /// calls are ignored (the worker threads captured the cell at spawn
+    /// time). Purely observational — chunking, batch order and results
+    /// are bit-identical with and without a registry attached.
+    pub fn set_metrics(&self, registry: MetricsRegistry) {
+        let _ = self.metrics.set(registry);
+    }
+
+    /// The attached telemetry registry, if any.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.get()
     }
 
     /// Like [`Executor::new`], wrapped for sharing between optimizers (e.g.
@@ -207,6 +245,13 @@ impl Executor {
                 }
                 let chunk_size = items.len().div_ceil(workers);
                 let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+                if let Some(metrics) = self.metrics.get() {
+                    // Chunk 0 runs inline on the caller lane; the rest are
+                    // queued. Lanes with no chunk this batch sat idle.
+                    metrics.add("exec.chunks", (chunks.len() - 1) as u64);
+                    metrics.add("exec.inline_chunks", 1);
+                    metrics.add("exec.idle_lane_turns", (pool.workers - chunks.len()) as u64);
+                }
                 pool.run_chunks(&chunks, &f).into_iter().flatten().collect()
             }
         }
@@ -226,7 +271,16 @@ impl Executor {
         problem: &P,
         xs: &[Vec<f64>],
     ) -> Vec<(Vec<f64>, f64)> {
-        problem.prepare_batch(xs);
+        let metrics = self.metrics.get();
+        if let Some(metrics) = metrics {
+            metrics.add("exec.batches", 1);
+            metrics.add("exec.candidates", xs.len() as u64);
+        }
+        {
+            let _span = metrics.map(|m| m.phase("prepare_batch"));
+            problem.prepare_batch(xs);
+        }
+        let _span = metrics.map(|m| m.phase("eval"));
         self.map_chunks(xs, |chunk| problem.evaluate_batch(chunk))
     }
 
@@ -339,6 +393,8 @@ struct WorkerPool {
     workers: usize,
     /// Live load gauges behind [`Executor::stats`].
     gauges: Arc<PoolGauges>,
+    /// The owning executor's telemetry cell (workers hold their own clone).
+    metrics: Arc<OnceLock<MetricsRegistry>>,
 }
 
 /// Relaxed-atomic load gauges shared between the pool handle, its workers,
@@ -350,7 +406,7 @@ struct PoolGauges {
 }
 
 impl WorkerPool {
-    fn new(workers: usize) -> Self {
+    fn new(workers: usize, metrics: Arc<OnceLock<MetricsRegistry>>) -> Self {
         debug_assert!(workers >= 2, "one-worker pools short-circuit to serial");
         let (sender, receiver) = mpsc::channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
@@ -359,6 +415,10 @@ impl WorkerPool {
             .map(|index| {
                 let receiver = Arc::clone(&receiver);
                 let gauges = Arc::clone(&gauges);
+                let metrics = Arc::clone(&metrics);
+                // Lane 0 is the caller lane (see `run_chunks`); spawned
+                // workers are lanes 1..workers.
+                let lane_busy = format!("exec.lane{:02}.busy_us", index + 1);
                 std::thread::Builder::new()
                     .name(format!("pathway-exec-{index}"))
                     .spawn(move || loop {
@@ -376,7 +436,11 @@ impl WorkerPool {
                             Ok(job) => {
                                 gauges.queued.fetch_sub(1, Ordering::Relaxed);
                                 gauges.active.fetch_add(1, Ordering::Relaxed);
+                                let started = Instant::now();
                                 let _ = panic::catch_unwind(AssertUnwindSafe(job));
+                                if let Some(registry) = metrics.get() {
+                                    registry.add(&lane_busy, duration_us(started.elapsed()));
+                                }
                                 gauges.active.fetch_sub(1, Ordering::Relaxed);
                             }
                             Err(mpsc::RecvError) => break,
@@ -390,6 +454,7 @@ impl WorkerPool {
             handles,
             workers,
             gauges,
+            metrics,
         }
     }
 
@@ -405,6 +470,7 @@ impl WorkerPool {
     {
         let slots: Vec<Mutex<Option<Vec<R>>>> = chunks.iter().map(|_| Mutex::new(None)).collect();
         let latch = Latch::new(chunks.len() - 1);
+        let metrics = self.metrics.get();
         let sender = self
             .sender
             .as_ref()
@@ -412,12 +478,30 @@ impl WorkerPool {
         for (index, &chunk) in chunks.iter().enumerate().skip(1) {
             let slots = &slots;
             let latch = &latch;
-            let job = move || match panic::catch_unwind(AssertUnwindSafe(|| f(chunk))) {
-                Ok(values) => {
-                    *slots[index].lock().expect("result slot poisoned") = Some(values);
-                    latch.complete(None);
+            let submitted = Instant::now();
+            let job = move || {
+                if let Some(registry) = metrics {
+                    registry.observe_duration(
+                        "exec.queue_wait_us",
+                        &QUEUE_WAIT_BOUNDS_US,
+                        submitted.elapsed(),
+                    );
                 }
-                Err(payload) => latch.complete(Some(payload)),
+                let chunk_started = Instant::now();
+                match panic::catch_unwind(AssertUnwindSafe(|| f(chunk))) {
+                    Ok(values) => {
+                        if let Some(registry) = metrics {
+                            registry.observe_duration(
+                                "exec.chunk_us",
+                                &CHUNK_BOUNDS_US,
+                                chunk_started.elapsed(),
+                            );
+                        }
+                        *slots[index].lock().expect("result slot poisoned") = Some(values);
+                        latch.complete(None);
+                    }
+                    Err(payload) => latch.complete(Some(payload)),
+                }
             };
             let boxed: Box<dyn FnOnce() + Send + '_> = Box::new(job);
             // SAFETY: the job borrows `slots`, `latch`, `f` and `chunk`,
@@ -441,13 +525,24 @@ impl WorkerPool {
         // The calling thread is a worker too: it takes the first chunk
         // instead of idling until the pool drains.
         self.gauges.active.fetch_add(1, Ordering::Relaxed);
+        let inline_started = Instant::now();
         let inline_panic = match panic::catch_unwind(AssertUnwindSafe(|| f(chunks[0]))) {
             Ok(values) => {
+                if let Some(registry) = metrics {
+                    registry.observe_duration(
+                        "exec.chunk_us",
+                        &CHUNK_BOUNDS_US,
+                        inline_started.elapsed(),
+                    );
+                }
                 *slots[0].lock().expect("result slot poisoned") = Some(values);
                 None
             }
             Err(payload) => Some(payload),
         };
+        if let Some(registry) = metrics {
+            registry.add("exec.lane00.busy_us", duration_us(inline_started.elapsed()));
+        }
         self.gauges.active.fetch_sub(1, Ordering::Relaxed);
         // Always reach the barrier before unwinding anything: the workers
         // still hold borrows into this frame until the latch drains.
@@ -608,6 +703,38 @@ mod tests {
             scoped_evaluate_batch(&Schaffer, &xs, 3),
             pool.evaluate_batch(&Schaffer, &xs)
         );
+    }
+
+    #[test]
+    fn metrics_record_batches_without_changing_results() {
+        let pool = Executor::new(EvalBackend::Threads(3));
+        pool.set_metrics(MetricsRegistry::new());
+        let xs = candidates(30);
+        let pooled = pool.evaluate_batch(&Schaffer, &xs);
+        assert_eq!(pooled, Executor::serial().evaluate_batch(&Schaffer, &xs));
+
+        let snapshot = pool.metrics().expect("registry attached").snapshot();
+        assert_eq!(snapshot.counter("exec.batches"), Some(1));
+        assert_eq!(snapshot.counter("exec.candidates"), Some(30));
+        assert_eq!(snapshot.counter("exec.inline_chunks"), Some(1));
+        assert_eq!(snapshot.counter("exec.chunks"), Some(2));
+        assert_eq!(snapshot.counter("phase.prepare_batch.calls"), Some(1));
+        assert_eq!(snapshot.counter("phase.eval.calls"), Some(1));
+        let waits = snapshot
+            .histogram("exec.queue_wait_us")
+            .expect("queued chunks record their wait");
+        assert_eq!(waits.count, 2);
+        let chunk_times = snapshot
+            .histogram("exec.chunk_us")
+            .expect("chunks record their execution time");
+        assert_eq!(chunk_times.count, 3);
+        assert!(snapshot.counter("exec.lane00.busy_us").is_some());
+
+        // A second registry is ignored: the first attachment wins.
+        pool.set_metrics(MetricsRegistry::new());
+        pool.evaluate_batch(&Schaffer, &xs);
+        let again = pool.metrics().expect("registry attached").snapshot();
+        assert_eq!(again.counter("exec.batches"), Some(2));
     }
 
     #[test]

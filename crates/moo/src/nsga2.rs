@@ -1,8 +1,10 @@
 use std::sync::Arc;
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::engine::telemetry::MetricsRegistry;
 use crate::engine::{EngineError, Nsga2State, Optimizer, OptimizerState, RngState};
 use crate::exec::Executor;
 use crate::individual::sample_within;
@@ -71,6 +73,10 @@ pub struct Nsga2 {
     /// islands). Not part of the run state: checkpoints never carry it and
     /// restoring never touches it.
     executor: Option<Arc<Executor>>,
+    /// Telemetry sink for the per-generation phase breakdown. Like the
+    /// executor: never checkpointed, never restored, never consulted by
+    /// the search itself.
+    metrics: Option<MetricsRegistry>,
 }
 
 impl Nsga2 {
@@ -83,6 +89,7 @@ impl Nsga2 {
             scratch: SortScratch::new(),
             evaluations: 0,
             executor: None,
+            metrics: None,
         }
     }
 
@@ -99,6 +106,13 @@ impl Nsga2 {
     /// preserves bit-identical results.
     pub fn set_executor(&mut self, executor: Arc<Executor>) {
         self.executor = Some(executor);
+    }
+
+    /// Attaches a telemetry registry; `step` then records the
+    /// `variation` and `selection` phase timings into it. Observational
+    /// only — the search trajectory is identical with or without it.
+    pub fn set_metrics(&mut self, registry: MetricsRegistry) {
+        self.metrics = Some(registry);
     }
 
     /// The executor evaluating this solver's batches, building it from the
@@ -184,6 +198,7 @@ impl Nsga2 {
             .unwrap_or(1.0 / problem.num_variables() as f64);
 
         // --- variation: produce the full offspring batch ---
+        let variation_started = Instant::now();
         let parents = self.population.members();
         let mut children: Vec<Vec<f64>> = Vec::with_capacity(self.config.population_size);
         while children.len() < self.config.population_size {
@@ -223,14 +238,22 @@ impl Nsga2 {
             }
         }
 
+        if let Some(metrics) = &self.metrics {
+            metrics.record_phase("variation", variation_started.elapsed());
+        }
+
         // --- one batched (possibly parallel) evaluation of all offspring ---
         self.evaluations += children.len();
         let offspring = self.executor().evaluate_individuals(problem, children);
 
         // --- environmental selection on parents ∪ offspring ---
+        let selection_started = Instant::now();
         let mut combined = std::mem::take(&mut self.population).into_members();
         combined.extend(offspring);
         self.population = self.environmental_selection(combined, self.config.population_size);
+        if let Some(metrics) = &self.metrics {
+            metrics.record_phase("selection", selection_started.elapsed());
+        }
     }
 
     /// Truncates a combined population to `target` members using
@@ -370,6 +393,10 @@ impl<P: MultiObjectiveProblem> Optimizer<P> for Nsga2 {
                 found: other.kind(),
             }),
         }
+    }
+
+    fn set_metrics(&mut self, registry: MetricsRegistry) {
+        Nsga2::set_metrics(self, registry);
     }
 }
 

@@ -1,0 +1,173 @@
+//! Property tests for the telemetry registry's merge semantics.
+//!
+//! The registry's contract is that shard merging is deterministic: counters
+//! add, gauges take the maximum, same-bounds histograms add elementwise —
+//! all commutative and associative — so *any* merge order over *any*
+//! sharding of the same recordings yields the same snapshot. These tests
+//! sweep randomized operation streams split across snapshots and compare
+//! left fold, right fold and balanced-tree merge orders.
+
+use proptest::prelude::*;
+
+use pathway_moo::engine::telemetry::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+
+/// One randomized recording. Values are kept finite: gauge merging uses
+/// `f64::max`, whose NaN handling is symmetric but makes snapshots
+/// incomparable under `PartialEq`.
+#[derive(Debug, Clone)]
+enum Op {
+    Add(usize, u64),
+    Gauge(usize, f64),
+    Observe(usize, f64),
+}
+
+const NAMES: [&str; 3] = ["alpha", "beta", "gamma"];
+const BOUNDS: [f64; 4] = [1.0, 10.0, 100.0, 1000.0];
+
+/// Deterministically expands one drawn `u64` into an operation (the
+/// vendored proptest shim has no combinators, so the decoding lives here).
+fn decode(seed: u64) -> Op {
+    let kind = seed % 3;
+    let name = ((seed / 3) % NAMES.len() as u64) as usize;
+    let magnitude = (seed >> 8) % 1_000_000;
+    match kind {
+        0 => Op::Add(name, magnitude % 1000),
+        1 => Op::Gauge(name, magnitude as f64 - 500_000.0),
+        _ => Op::Observe(name, magnitude as f64 / 50.0 - 10.0),
+    }
+}
+
+fn apply(snapshot: &mut MetricsSnapshot, op: &Op) {
+    match op {
+        // Distinct name prefixes per kind: one name must stay one metric type.
+        Op::Add(name, delta) => snapshot.add(&format!("count.{}", NAMES[*name]), *delta),
+        Op::Gauge(name, value) => snapshot.set_gauge(&format!("gauge.{}", NAMES[*name]), *value),
+        Op::Observe(name, value) => {
+            snapshot.observe(&format!("hist.{}", NAMES[*name]), &BOUNDS, *value);
+        }
+    }
+}
+
+/// Splits an operation stream into `shards` snapshots round-robin, like
+/// worker threads each recording into their own shard.
+fn shard_ops(ops: &[Op], shards: usize) -> Vec<MetricsSnapshot> {
+    let mut snapshots = vec![MetricsSnapshot::default(); shards.max(1)];
+    for (index, op) in ops.iter().enumerate() {
+        apply(&mut snapshots[index % shards.max(1)], op);
+    }
+    snapshots
+}
+
+fn merge_left_fold(shards: &[MetricsSnapshot]) -> MetricsSnapshot {
+    let mut merged = MetricsSnapshot::default();
+    for shard in shards {
+        merged.merge(shard);
+    }
+    merged
+}
+
+fn merge_right_fold(shards: &[MetricsSnapshot]) -> MetricsSnapshot {
+    let mut merged = MetricsSnapshot::default();
+    for shard in shards.iter().rev() {
+        merged.merge(shard);
+    }
+    merged
+}
+
+fn merge_tree(shards: &[MetricsSnapshot]) -> MetricsSnapshot {
+    match shards.len() {
+        0 => MetricsSnapshot::default(),
+        1 => shards[0].clone(),
+        n => {
+            let mut left = merge_tree(&shards[..n / 2]);
+            left.merge(&merge_tree(&shards[n / 2..]));
+            left
+        }
+    }
+}
+
+proptest! {
+    /// Merge order never changes a snapshot: left fold, right fold and
+    /// balanced tree agree for any op stream and any shard count.
+    #[test]
+    fn merge_order_never_changes_a_snapshot(
+        seeds in proptest::collection::vec(0u64..u64::MAX, 0..120),
+        shards in 1usize..8,
+    ) {
+        let ops: Vec<Op> = seeds.iter().copied().map(decode).collect();
+        let sharded = shard_ops(&ops, shards);
+        let left = merge_left_fold(&sharded);
+        prop_assert_eq!(&left, &merge_right_fold(&sharded));
+        prop_assert_eq!(&left, &merge_tree(&sharded));
+    }
+
+    /// Sharding itself is irrelevant: everything recorded into one shard
+    /// equals the same stream split across many shards and merged — for
+    /// counters and histograms exactly; gauges are excluded because
+    /// splitting a *sequenced* stream of sets across shards legitimately
+    /// changes which value is "last" (merge then takes the max).
+    #[test]
+    fn shard_count_is_irrelevant_for_counters_and_histograms(
+        seeds in proptest::collection::vec(0u64..u64::MAX, 0..120),
+        shards in 2usize..8,
+    ) {
+        let ops: Vec<Op> = seeds.iter().copied().map(decode).collect();
+        let drop_gauges = |mut snapshot: MetricsSnapshot| {
+            snapshot.metrics.retain(|name, _| !name.starts_with("gauge."));
+            snapshot
+        };
+        let single = drop_gauges(merge_left_fold(&shard_ops(&ops, 1)));
+        let many = drop_gauges(merge_left_fold(&shard_ops(&ops, shards)));
+        prop_assert_eq!(single, many);
+    }
+
+    /// Every histogram observation lands in exactly one bucket, `count`
+    /// equals the number of observations, and bucket assignment respects
+    /// the inclusive upper bound.
+    #[test]
+    fn histogram_accounting_is_exact(values in proptest::collection::vec(-10.0f64..2e4, 0..200)) {
+        let mut histogram = HistogramSnapshot::new(&BOUNDS);
+        for value in &values {
+            histogram.observe(*value);
+        }
+        prop_assert_eq!(histogram.count, values.len() as u64);
+        prop_assert_eq!(histogram.counts.iter().sum::<u64>(), values.len() as u64);
+        // The sum is fixed-point (~1e-6 resolution per observation).
+        let expected_sum: f64 = values.iter().sum();
+        prop_assert!((histogram.sum() - expected_sum).abs() <= 1e-5 * (values.len() + 1) as f64);
+    }
+}
+
+#[test]
+fn bucket_boundaries_are_inclusive_upper_bounds() {
+    let mut histogram = HistogramSnapshot::new(&BOUNDS);
+    for bound in BOUNDS {
+        histogram.observe(bound); // exactly on each bound
+        histogram.observe(bound + 1e-9); // just above each bound
+    }
+    // Each exact bound lands in its own bucket; each bound+ε lands one
+    // bucket later (the last one overflowing).
+    assert_eq!(histogram.counts, vec![1, 2, 2, 2, 1]);
+    assert_eq!(histogram.count, 8);
+}
+
+#[test]
+fn concurrent_registry_recordings_merge_exactly() {
+    let registry = MetricsRegistry::new();
+    std::thread::scope(|scope| {
+        for worker in 0..6 {
+            let registry = registry.clone();
+            scope.spawn(move || {
+                for i in 0..50 {
+                    registry.add("count.total", 1);
+                    registry.observe("hist.latency", &BOUNDS, (worker * 50 + i) as f64);
+                }
+            });
+        }
+    });
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.counter("count.total"), Some(300));
+    let histogram = snapshot.histogram("hist.latency").expect("recorded");
+    assert_eq!(histogram.count, 300);
+    assert_eq!(histogram.counts.iter().sum::<u64>(), 300);
+}

@@ -168,6 +168,23 @@ impl Client {
         StatusSnapshot::from_json(&reply).map_err(ClientError::Protocol)
     }
 
+    /// Fetches the daemon's live telemetry snapshot as a
+    /// `pathway-profile` JSON document (the object itself, not a rendered
+    /// string) — the same schema `pathway run --profile-out` writes, with
+    /// `source` `"serve"`. Validate it with
+    /// [`pathway_core::obs::validate_profile_json`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`] variant.
+    pub fn metrics(&mut self) -> Result<JsonValue, ClientError> {
+        let reply = self.roundtrip(&Request::Metrics)?;
+        reply
+            .get("profile")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("metrics reply has no 'profile'".to_string()))
+    }
+
     /// Cancels a job; returns its post-cancellation summary.
     ///
     /// # Errors

@@ -41,19 +41,32 @@
 use std::path::{Path, PathBuf};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pathway_core::{
     owned_resume_spec_driver, owned_spec_driver, sweep::render_front,
     validate_spec_against_problem, AnyProblem,
 };
+use pathway_moo::engine::telemetry::duration_us;
 use pathway_moo::engine::{
-    AnyOptimizer, ChannelObserver, CheckpointStore, Driver, GenerationReport, Observer, RunSpec,
-    SweepSpec,
+    AnyOptimizer, ChannelObserver, CheckpointStore, Driver, GenerationReport, MetricsRegistry,
+    Observer, RunSpec, SweepSpec,
 };
 use pathway_moo::Executor;
 
 use crate::wire::{JobState, JobSummary};
+
+/// Buckets for per-job turn latency (`serve.turn_us`): one generation of
+/// one job, from sub-millisecond benchmarks to multi-second oracles.
+const TURN_BOUNDS_US: [f64; 10] = [
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 50000.0, 250000.0, 1000000.0,
+];
+
+/// Buckets for scheduler-loop lag (`serve.loop_lag_us`): the gap between
+/// consecutive turns spent draining commands and channel-parking.
+const LAG_BOUNDS_US: [f64; 8] = [
+    10.0, 50.0, 100.0, 500.0, 1000.0, 10000.0, 100000.0, 1000000.0,
+];
 
 /// Environment variable throttling the scheduler (milliseconds slept after
 /// every job step). Exists for tests that need a window to observe — or
@@ -141,6 +154,12 @@ pub enum Command {
     Shutdown {
         /// Acknowledged once every running job is checkpointed.
         reply: Sender<()>,
+        /// Signalled (or dropped) by the connection thread once the
+        /// acknowledgement has been written to the client socket. The
+        /// scheduler delays its exit — and with it process teardown —
+        /// until then, so the reply can't lose a race with the daemon's
+        /// death and strand the client on a closed connection.
+        written: Receiver<()>,
     },
 }
 
@@ -160,6 +179,13 @@ pub struct Scheduler {
     next_job: usize,
     /// Test-only throttle; see [`STEP_SLEEP_ENV`].
     step_sleep: Duration,
+    /// Daemon-wide telemetry: job drivers, the shared executor, and the
+    /// scheduler loop itself all record here; `metrics` requests snapshot
+    /// it live.
+    metrics: MetricsRegistry,
+    /// When the previous [`Scheduler::turn`] finished stepping a job;
+    /// the gap to the next turn is `serve.loop_lag_us`.
+    last_turn_ended: Option<Instant>,
 }
 
 impl Scheduler {
@@ -184,6 +210,10 @@ impl Scheduler {
             .and_then(|v| v.parse::<u64>().ok())
             .map(Duration::from_millis)
             .unwrap_or(Duration::ZERO);
+        let metrics = MetricsRegistry::new();
+        // First-wins: a fresh daemon executor adopts this registry; an
+        // executor that already reports elsewhere keeps doing so.
+        executor.set_metrics(metrics.clone());
         let mut scheduler = Scheduler {
             data_dir,
             executor,
@@ -191,6 +221,8 @@ impl Scheduler {
             cursor: 0,
             next_job: 1,
             step_sleep,
+            metrics,
+            last_turn_ended: None,
         };
         scheduler.restore(&jobs_dir)?;
         Ok(scheduler)
@@ -199,6 +231,13 @@ impl Scheduler {
     /// The daemon data directory this scheduler persists into.
     pub fn data_dir(&self) -> &Path {
         &self.data_dir
+    }
+
+    /// The daemon-wide telemetry registry. Clone it before spawning the
+    /// scheduler loop; snapshots taken from other threads merge every
+    /// shard live.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     fn jobs_dir(&self) -> PathBuf {
@@ -302,6 +341,7 @@ impl Scheduler {
             }
             None => owned_spec_driver(&exec_spec, problem, Arc::clone(&self.executor)),
         };
+        let driver = driver.with_metrics(self.metrics.clone());
         slot.generation = driver.generation();
         slot.driver = Some(driver);
         Ok(slot)
@@ -352,7 +392,8 @@ impl Scheduler {
 
         let mut exec_spec = spec.clone();
         exec_spec.log_every = None;
-        let driver = owned_spec_driver(&exec_spec, problem, Arc::clone(&self.executor));
+        let driver = owned_spec_driver(&exec_spec, problem, Arc::clone(&self.executor))
+            .with_metrics(self.metrics.clone());
         self.next_job += 1;
         let slot = JobSlot {
             id,
@@ -477,11 +518,32 @@ impl Scheduler {
         if count == 0 {
             return false;
         }
+        let runnable = self
+            .jobs
+            .iter()
+            .filter(|slot| slot.state == JobState::Running)
+            .count();
+        self.metrics
+            .set_gauge("serve.jobs_runnable", runnable as f64);
         for offset in 0..count {
             let index = (self.cursor + offset) % count;
             if self.jobs[index].state == JobState::Running {
                 self.cursor = (index + 1) % count;
+                if let Some(ended) = self.last_turn_ended {
+                    self.metrics.observe(
+                        "serve.loop_lag_us",
+                        &LAG_BOUNDS_US,
+                        duration_us(ended.elapsed()) as f64,
+                    );
+                }
+                let started = Instant::now();
                 self.step_job(index);
+                self.metrics.observe(
+                    "serve.turn_us",
+                    &TURN_BOUNDS_US,
+                    duration_us(started.elapsed()) as f64,
+                );
+                self.last_turn_ended = Some(Instant::now());
                 if !self.step_sleep.is_zero() {
                     std::thread::sleep(self.step_sleep);
                 }
@@ -529,7 +591,11 @@ impl Scheduler {
         let every = slot.spec.checkpoint_every;
         if every > 0 && report.generation % every == 0 {
             let checkpoint = slot.driver.as_ref().expect("stepped above").checkpoint();
-            if let Err(err) = slot.store.save(&checkpoint) {
+            let write_started = Instant::now();
+            let saved = slot.store.save(&checkpoint);
+            self.metrics
+                .record_phase("checkpoint_write", write_started.elapsed());
+            if let Err(err) = saved {
                 // Durability is the contract; a job that cannot persist is
                 // failed loudly rather than silently running volatile.
                 let message = format!("checkpoint write failed: {err}");
@@ -558,7 +624,11 @@ impl Scheduler {
         slot.generation = driver.generation();
         slot.evaluations = driver.optimizer().evaluations();
         slot.front_size = front.len();
-        if let Err(err) = slot.store.save(&driver.checkpoint()) {
+        let write_started = Instant::now();
+        let saved = slot.store.save(&driver.checkpoint());
+        self.metrics
+            .record_phase("checkpoint_write", write_started.elapsed());
+        if let Err(err) = saved {
             let message = format!("final checkpoint write failed: {err}");
             self.fail(index, message);
             return;
@@ -607,7 +677,7 @@ impl Scheduler {
             Command::FetchFront { job, reply } => {
                 let _ = reply.send(self.fetch_front(&job));
             }
-            Command::Shutdown { reply } => {
+            Command::Shutdown { reply, written } => {
                 // Clean shutdown loses nothing: every running job is
                 // checkpointed at its current generation.
                 for slot in &mut self.jobs {
@@ -618,6 +688,11 @@ impl Scheduler {
                     }
                 }
                 let _ = reply.send(());
+                // Hold the loop (and therefore the process) open until the
+                // reply has reached the socket; a connection thread that
+                // died drops its sender and unblocks this immediately. The
+                // timeout is a backstop against a wedged client write.
+                let _ = written.recv_timeout(Duration::from_secs(5));
                 return true;
             }
         }

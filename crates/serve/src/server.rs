@@ -24,8 +24,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use pathway_core::jsonlite::JsonValue;
+use pathway_core::obs::{profile_json, ProfileData};
+use pathway_moo::engine::telemetry::duration_us;
+use pathway_moo::engine::MetricsRegistry;
 use pathway_moo::Executor;
 
 use crate::scheduler::{atomic_write, Command, Scheduler};
@@ -85,6 +89,14 @@ impl Server {
             );
         }
 
+        // Cloned before the scheduler thread takes the scheduler: registry
+        // shards are shared, so connection threads snapshot live telemetry
+        // without a scheduler round-trip.
+        let telemetry = Arc::new(ConnectionTelemetry {
+            metrics: scheduler.metrics().clone(),
+            label: config.data_dir.display().to_string(),
+            started: Instant::now(),
+        });
         let (commands, command_rx) = channel::<Command>();
         let scheduler_thread = std::thread::spawn(move || scheduler.run(command_rx));
 
@@ -99,7 +111,10 @@ impl Server {
                 let Ok(stream) = stream else { continue };
                 let commands = commands.clone();
                 let executor = Arc::clone(&executor);
-                std::thread::spawn(move || handle_connection(stream, commands, executor));
+                let telemetry = Arc::clone(&telemetry);
+                std::thread::spawn(move || {
+                    handle_connection(stream, commands, executor, telemetry)
+                });
             }
             // `commands` drops here; with every connection finished the
             // scheduler loop sees a disconnected channel and exits too.
@@ -131,6 +146,14 @@ impl Server {
     }
 }
 
+/// What a connection thread needs to answer `metrics` locally: the
+/// daemon-wide registry plus the identity fields of the profile document.
+struct ConnectionTelemetry {
+    metrics: MetricsRegistry,
+    label: String,
+    started: Instant,
+}
+
 /// Writes one reply line; `false` when the client hung up.
 fn write_line(stream: &mut TcpStream, line: &str) -> bool {
     use std::io::Write;
@@ -143,7 +166,12 @@ fn write_line(stream: &mut TcpStream, line: &str) -> bool {
 
 /// One client connection: a sequence of request lines, each answered (or,
 /// for `watch`, streamed) before the next is read.
-fn handle_connection(stream: TcpStream, commands: Sender<Command>, executor: Arc<Executor>) {
+fn handle_connection(
+    stream: TcpStream,
+    commands: Sender<Command>,
+    executor: Arc<Executor>,
+    telemetry: Arc<ConnectionTelemetry>,
+) {
     use std::io::BufRead;
     let Ok(read_half) = stream.try_clone() else {
         return;
@@ -208,6 +236,28 @@ fn handle_connection(stream: TcpStream, commands: Sender<Command>, executor: Arc
                 };
                 write_line(&mut writer, &body.to_compact())
             }
+            Request::Metrics => {
+                // Job totals come from the scheduler; the metric shards
+                // themselves are snapshotted right here, live.
+                let body = match ask(&commands, |reply| Command::Status { reply }) {
+                    Some(jobs) => {
+                        let generations: u64 = jobs.iter().map(|job| job.generation as u64).sum();
+                        let evaluations: u64 = jobs.iter().map(|job| job.evaluations as u64).sum();
+                        let snapshot = telemetry.metrics.snapshot();
+                        let profile = profile_json(&ProfileData {
+                            source: "serve",
+                            label: &telemetry.label,
+                            generations,
+                            evaluations,
+                            wall_ms: duration_us(telemetry.started.elapsed()) / 1000,
+                            snapshot: &snapshot,
+                        });
+                        ok_response([("profile".to_string(), profile)])
+                    }
+                    None => error_response("daemon is shutting down"),
+                };
+                write_line(&mut writer, &body.to_compact())
+            }
             Request::Watch { job } => {
                 let reply = ask(&commands, |reply| Command::Watch {
                     job: job.clone(),
@@ -239,6 +289,7 @@ fn handle_connection(stream: TcpStream, commands: Sender<Command>, executor: Arc
                                 evaluations: report.evaluations,
                                 front_size: report.front_size,
                                 hypervolume: report.hypervolume,
+                                duration_us: duration_us(report.wall_clock),
                             };
                             if !write_line(&mut writer, &event.encode()) {
                                 client_alive = false;
@@ -295,12 +346,23 @@ fn handle_connection(stream: TcpStream, commands: Sender<Command>, executor: Arc
                 write_line(&mut writer, &body.to_compact())
             }
             Request::Shutdown => {
-                let acknowledged = ask(&commands, |reply| Command::Shutdown { reply });
+                let (written_tx, written_rx) = channel();
+                let acknowledged = ask(&commands, |reply| Command::Shutdown {
+                    reply,
+                    written: written_rx,
+                });
                 let body = match acknowledged {
                     Some(()) => ok_response([]),
                     None => error_response("daemon is already shutting down"),
                 };
                 write_line(&mut writer, &body.to_compact());
+                // The scheduler holds the daemon open until this signal:
+                // only now that the reply is on the wire may the process
+                // exit. Without the handshake a loaded host could tear the
+                // daemon down before this thread got scheduled to write,
+                // and the client would see the connection close instead of
+                // its acknowledgement.
+                let _ = written_tx.send(());
                 return;
             }
         };

@@ -17,6 +17,7 @@
 //! | `ping`        | —             | `{ok, server, version}`                       |
 //! | `submit`      | `spec`        | `{ok, jobs: [job summary…]}`                  |
 //! | `status`      | —             | `{ok, executor: {…}, jobs: [job summary…]}`   |
+//! | `metrics`     | —             | `{ok, profile: {…}}` (a `pathway-profile` doc)|
 //! | `watch`       | `job`         | `{ok, job, state}` then `event` lines         |
 //! | `cancel`      | `job`         | `{ok, job summary}`                           |
 //! | `fetch-front` | `job`         | `{ok, job summary, front}`                    |
@@ -48,6 +49,8 @@ pub enum Request {
     },
     /// Snapshot of every job plus executor health.
     Status,
+    /// Live telemetry snapshot as a `pathway-profile` document.
+    Metrics,
     /// Stream per-generation telemetry for one job.
     Watch {
         /// Job id, e.g. `job-0001`.
@@ -77,6 +80,7 @@ impl Request {
                 ("spec", JsonValue::string(spec_text.clone())),
             ]),
             Request::Status => JsonValue::object([("cmd", JsonValue::string("status"))]),
+            Request::Metrics => JsonValue::object([("cmd", JsonValue::string("metrics"))]),
             Request::Watch { job } => JsonValue::object([
                 ("cmd", JsonValue::string("watch")),
                 ("job", JsonValue::string(job.clone())),
@@ -125,6 +129,7 @@ impl Request {
                 Ok(Request::Submit { spec_text })
             }
             "status" => Ok(Request::Status),
+            "metrics" => Ok(Request::Metrics),
             "watch" => Ok(Request::Watch { job: job(&value)? }),
             "cancel" => Ok(Request::Cancel { job: job(&value)? }),
             "fetch-front" => Ok(Request::FetchFront { job: job(&value)? }),
@@ -357,6 +362,9 @@ pub enum WatchEvent {
         front_size: usize,
         /// Current hypervolume (absent on the wire when NaN).
         hypervolume: f64,
+        /// Wall-clock of this generation, microseconds (0 when the
+        /// server predates the field).
+        duration_us: u64,
     },
     /// The stream is over; the job reached `state` at `generation`.
     End {
@@ -379,6 +387,7 @@ impl WatchEvent {
                 evaluations,
                 front_size,
                 hypervolume,
+                duration_us,
             } => {
                 let mut fields = vec![
                     ("event".to_string(), JsonValue::string("generation")),
@@ -386,6 +395,10 @@ impl WatchEvent {
                     ("generation".to_string(), int(*generation)),
                     ("evaluations".to_string(), int(*evaluations)),
                     ("front_size".to_string(), int(*front_size)),
+                    (
+                        "duration_us".to_string(),
+                        JsonValue::Int(i64::try_from(*duration_us).unwrap_or(i64::MAX)),
+                    ),
                 ];
                 // JSON has no NaN literal; an unmeasurable hypervolume is
                 // simply absent.
@@ -429,6 +442,12 @@ impl WatchEvent {
                     .get("hypervolume")
                     .and_then(JsonValue::as_f64)
                     .unwrap_or(f64::NAN),
+                // Absent from pre-telemetry servers; 0 means "unreported".
+                duration_us: value
+                    .get("duration_us")
+                    .and_then(JsonValue::as_i64)
+                    .and_then(|v| u64::try_from(v).ok())
+                    .unwrap_or(0),
             }),
             "end" => {
                 let state_text = required_str(&value, "state")?;
@@ -491,6 +510,7 @@ mod tests {
                 spec_text: "pathway-spec v1\n[run]\nproblem = schaffer\n".to_string(),
             },
             Request::Status,
+            Request::Metrics,
             Request::Watch {
                 job: "job-0003".to_string(),
             },
@@ -578,6 +598,7 @@ mod tests {
             evaluations: 300,
             front_size: 12,
             hypervolume: 1.25,
+            duration_us: 1500,
         };
         assert_eq!(WatchEvent::parse(&generation.encode()).unwrap(), generation);
 
@@ -588,6 +609,7 @@ mod tests {
             evaluations: 400,
             front_size: 12,
             hypervolume: f64::NAN,
+            duration_us: 0,
         };
         let line = nan.encode();
         assert!(!line.contains("hypervolume"));
@@ -602,6 +624,16 @@ mod tests {
             generation: 40,
         };
         assert_eq!(WatchEvent::parse(&end.encode()).unwrap(), end);
+    }
+
+    #[test]
+    fn generation_events_without_duration_parse_as_zero() {
+        // A line from a pre-telemetry server carries no duration_us.
+        let legacy = r#"{"event":"generation","job":"job-0001","generation":3,"evaluations":300,"front_size":12}"#;
+        match WatchEvent::parse(legacy).unwrap() {
+            WatchEvent::Generation { duration_us, .. } => assert_eq!(duration_us, 0),
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

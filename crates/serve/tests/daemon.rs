@@ -172,14 +172,25 @@ fn tcp_round_trip_submits_watches_and_fetches() {
     // terminal state.
     let mut watcher = Client::connect(&addr).expect("connect watcher");
     let mut seen = Vec::new();
+    let mut evaluation_counts = Vec::new();
     let end = watcher
         .watch(&id, |event| {
-            if let WatchEvent::Generation { generation, .. } = event {
+            if let WatchEvent::Generation {
+                generation,
+                evaluations,
+                ..
+            } = event
+            {
                 seen.push(*generation);
+                evaluation_counts.push(*evaluations);
             }
         })
         .expect("watch");
     assert!(seen.windows(2).all(|w| w[0] < w[1]), "ordered: {seen:?}");
+    assert!(
+        evaluation_counts.windows(2).all(|w| w[0] < w[1]),
+        "evaluations are cumulative: {evaluation_counts:?}"
+    );
     match end {
         WatchEvent::End { state, .. } => assert_eq!(state, JobState::Completed),
         other => panic!("expected end event, got {other:?}"),
@@ -190,6 +201,27 @@ fn tcp_round_trip_submits_watches_and_fetches() {
     assert_eq!(status.jobs.len(), 1);
     assert_eq!(status.jobs[0].state, JobState::Completed);
     assert_eq!(status.jobs[0].generation, 6);
+
+    // The live telemetry snapshot is a schema-valid pathway-profile
+    // document with the daemon's job totals.
+    let profile = client.metrics().expect("metrics");
+    let check = pathway_core::obs::validate_profile_json(&profile.to_pretty())
+        .expect("daemon profile validates");
+    assert_eq!(check.source, "serve");
+    assert_eq!(check.generations, 6);
+    assert!(
+        check.phases.iter().any(|phase| phase.name == "generation"),
+        "driver phases flow into the daemon registry: {:?}",
+        check.phases
+    );
+    assert!(
+        check
+            .phases
+            .iter()
+            .any(|phase| phase.name == "checkpoint_write"),
+        "checkpoint writes are phased: {:?}",
+        check.phases
+    );
 
     let (summary, front) = client.fetch_front(&id).expect("fetch front");
     assert_eq!(summary.state, JobState::Completed);
