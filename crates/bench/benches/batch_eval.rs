@@ -15,6 +15,14 @@
 //!    batch with one sparse matrix × dense matrix product; `mapped_oracle`
 //!    forces the per-candidate default path over the same problem. Both are
 //!    bit-identical; only the traversal count differs.
+//! 3. **Tail stealing beats fixed chunks on skewed batches.** A real ODE
+//!    leaf batch where a run of candidates costs ~13x the rest (they never
+//!    settle; the rest warm-start from a frozen parent library) starves
+//!    fixed chunking — one lane grinds while the other idles. The
+//!    executor's index-stealing splitter rebalances the tail and stays
+//!    bit-identical to serial (`tests/determinism.rs` proves the slot
+//!    commit), so `executor_pool_stealing` should clearly beat
+//!    `scoped_fixed_chunks` in the `skewed_stealing` group.
 //!
 //! Set `PATHWAY_BENCH_PROFILE=quick` (CI does) for a reduced model and
 //! sample count that still exercises every code path.
@@ -140,5 +148,68 @@ fn bench_oracle_amortization(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_executors, bench_oracle_amortization);
+/// A batch whose expensive candidates (a 0.7x-scaled pathway that relaxes
+/// too slowly to settle within the fast integrator's 800 s horizon, ~29 ms)
+/// sit in the middle of lane 0's fixed-chunk half, surrounded by cheap
+/// designs that warm-start off the committed parent library (~2 ms). The
+/// placement spans the later claim blocks of lane 0's range, which is
+/// exactly the work a tail thief can take over.
+fn skewed_leaf_batch(batch_len: usize) -> Vec<Vec<f64>> {
+    let natural = EnzymePartition::natural();
+    (0..batch_len)
+        .map(|i| {
+            if (batch_len / 8..3 * batch_len / 8).contains(&i) {
+                natural.scaled(0.7).capacities().to_vec()
+            } else {
+                natural.scaled(1.0 + 0.02 * i as f64).capacities().to_vec()
+            }
+        })
+        .collect()
+}
+
+/// Settles the batch once cold, commits the settling designs as the parent
+/// library, then freezes it: every timed iteration sees the same
+/// warm-vs-never-settling cost split, because the frozen library neither
+/// absorbs the expensive designs nor drifts between samples.
+fn warmed_leaf_problem(batch: &[Vec<f64>]) -> OdeLeafRedesignProblem {
+    let problem = OdeLeafRedesignProblem::new(Scenario::present_low_export());
+    problem.prepare_batch(batch);
+    problem.evaluate_batch(batch);
+    problem.prepare_batch(batch);
+    problem.freeze_warm_start_pool();
+    problem
+}
+
+/// Fixed chunks vs the index-stealing splitter on the skewed ODE batch,
+/// both on two workers. Fixed chunking pins the expensive run to lane 0
+/// (wall clock ≈ the loaded lane); the splitter lets lane 1 steal the
+/// expensive tail once its own cheap half drains. Results are bit-identical
+/// either way — this group measures scheduling only, so the gap needs two
+/// physical cores to show (on one core both collapse to the serial total).
+fn bench_skewed_stealing(c: &mut Criterion) {
+    let (_, population, samples) = profile();
+    let batch_len = if population <= 32 { 32 } else { 64 };
+    let batch = skewed_leaf_batch(batch_len);
+
+    let mut group = c.benchmark_group("skewed_stealing");
+    group.sample_size(samples);
+    let case = format!("ode_leaf_pop{batch_len}");
+    group.bench_function(BenchmarkId::new(&case, "scoped_fixed_chunks2"), |b| {
+        let problem = warmed_leaf_problem(&batch);
+        b.iter(|| scoped_evaluate_batch(&problem, &batch, 2).len())
+    });
+    group.bench_function(BenchmarkId::new(&case, "executor_pool_stealing2"), |b| {
+        let problem = warmed_leaf_problem(&batch);
+        let pool = Executor::new(EvalBackend::Threads(2));
+        b.iter(|| pool.evaluate_batch(&problem, &batch).len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_executors,
+    bench_oracle_amortization,
+    bench_skewed_stealing
+);
 criterion_main!(benches);

@@ -10,6 +10,7 @@
 //! pathway sweep examples/benchmarks.sweep       # expand a grid, run every cell
 //! pathway ledger-check BENCH_sweep.json         # validate a sweep ledger
 //! pathway profile-check BENCH_profile.json      # validate a telemetry profile
+//! pathway profile-diff old.json new.json        # per-phase perf deltas + gate
 //! pathway inspect examples/quickstart.spec      # validate + show canonical form
 //! pathway inspect checkpoints/gen-50.ckpt       # show checkpoint header + spec
 //! pathway list-problems                         # the problem registry
@@ -48,7 +49,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pathway_core::obs::{
-    check_phase_balance, validate_profile_json, write_profile_file, ProfileData,
+    check_phase_balance, check_profile_regression, diff_profiles, validate_profile_json,
+    write_profile_file, ProfileCheck, ProfileData,
 };
 use pathway_core::sweep::{
     run_sweep_with_metrics, validate_bench_json, write_front_file, SweepEvent, SweepReport,
@@ -77,6 +79,12 @@ USAGE:
     pathway ledger-check <BENCH_sweep.json> validate a sweep ledger's schema
     pathway profile-check <profile.json>    validate a telemetry profile's
                                             schema and phase-timing balance
+    pathway profile-diff <old.json> <new.json> [--threshold <ratio>]
+                                            per-phase cost deltas between two
+                                            profiles (normalized per
+                                            evaluation); exits non-zero when a
+                                            gated phase regresses past the
+                                            threshold (default 4.0)
     pathway inspect <file>                  describe a spec, sweep or checkpoint
     pathway list-problems                   show the problem registry
 
@@ -183,6 +191,7 @@ fn dispatch(args: &[OsString]) -> Result<(), CliError> {
         Some("sweep") => command_sweep(&args[1..]),
         Some("ledger-check") => command_ledger_check(&args[1..]),
         Some("profile-check") => command_profile_check(&args[1..]),
+        Some("profile-diff") => command_profile_diff(&args[1..]),
         Some("inspect") => command_inspect(&args[1..]),
         Some("list-problems") => command_list_problems(&args[1..]),
         Some("serve") => command_serve(&args[1..]),
@@ -864,6 +873,96 @@ fn command_profile_check(args: &[OsString]) -> Result<(), CliError> {
         check.phases.len(),
         check.wall_ms
     );
+    Ok(())
+}
+
+/// Default `--threshold` for `profile-diff`: generous enough to absorb a
+/// baseline measured on different hardware, tight enough to catch a kernel
+/// regressing by an order of magnitude.
+const PROFILE_DIFF_DEFAULT_THRESHOLD: f64 = 4.0;
+
+/// Compares two telemetry profiles phase by phase — per-evaluation costs
+/// when both record evaluation counts, raw totals otherwise — and fails
+/// (exit 1) when any gated phase's cost ratio exceeds the threshold. CI
+/// runs this with a freshly regenerated profile against the committed
+/// `BENCH_profile.json`, which is what turns the committed numbers into an
+/// enforced performance contract instead of documentation.
+fn command_profile_diff(args: &[OsString]) -> Result<(), CliError> {
+    let mut paths: Vec<&OsString> = Vec::new();
+    let mut threshold = PROFILE_DIFF_DEFAULT_THRESHOLD;
+    let mut rest = args.iter();
+    while let Some(arg) = rest.next() {
+        if arg.to_str() == Some("--threshold") {
+            let value = rest
+                .next()
+                .ok_or_else(|| CliError::Usage("--threshold needs a value".to_string()))?;
+            threshold = value
+                .to_str()
+                .and_then(|text| text.parse::<f64>().ok())
+                .filter(|t| t.is_finite() && *t > 0.0)
+                .ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "--threshold needs a positive number, got '{}'",
+                        value.to_string_lossy()
+                    ))
+                })?;
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [old_path, new_path] = paths[..] else {
+        return Err(CliError::Usage(
+            "profile-diff takes exactly two profile.json arguments \
+             (old baseline first, new profile second)"
+                .to_string(),
+        ));
+    };
+    let load = |path: &OsString| -> Result<ProfileCheck, CliError> {
+        let path = Path::new(path);
+        let text = std::fs::read_to_string(path)
+            .map_err(|err| CliError::failed(format!("cannot read {}: {err}", path.display())))?;
+        validate_profile_json(&text).map_err(|problems| {
+            for problem in &problems {
+                eprintln!("{}: {problem}", path.display());
+            }
+            CliError::failed(format!(
+                "{}: {} profile schema violation(s)",
+                path.display(),
+                problems.len()
+            ))
+        })
+    };
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+    let diff = diff_profiles(&old, &new);
+    println!(
+        "profile diff: {} ({} evaluations) -> {} ({} evaluations)",
+        Path::new(old_path).display(),
+        diff.old_evaluations,
+        Path::new(new_path).display(),
+        diff.new_evaluations,
+    );
+    println!(
+        "  {:<20} {:>12} {:>12} {:>11} {:>11} {:>8}",
+        "phase", "old µs", "new µs", "old/eval", "new/eval", "ratio"
+    );
+    let fmt_us = |us: Option<u64>| us.map_or_else(|| "-".to_string(), |us| us.to_string());
+    let fmt_per = |per: Option<f64>| per.map_or_else(|| "-".to_string(), |p| format!("{p:.3}"));
+    for delta in &diff.phases {
+        println!(
+            "  {:<20} {:>12} {:>12} {:>11} {:>11} {:>8}",
+            delta.name,
+            fmt_us(delta.old_total_us),
+            fmt_us(delta.new_total_us),
+            fmt_per(delta.old_per_eval_us),
+            fmt_per(delta.new_per_eval_us),
+            delta
+                .ratio
+                .map_or_else(|| "-".to_string(), |r| format!("{r:.2}x")),
+        );
+    }
+    check_profile_regression(&diff, threshold).map_err(CliError::failed)?;
+    println!("no gated phase regressed past {threshold:.2}x");
     Ok(())
 }
 

@@ -476,6 +476,59 @@ fn ledger_check_validates_and_rejects() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `profile-diff` reports per-phase deltas between two profiles and gates
+/// regressions: identical profiles pass, a 5x `eval` blow-up fails the
+/// default 4x threshold with exit 1, and a loosened `--threshold` lets the
+/// same pair pass again.
+#[test]
+fn profile_diff_reports_deltas_and_gates_regressions() {
+    let dir = temp_dir("profile-diff");
+    let profile = |label: &str, eval_us: u64| {
+        format!(
+            "{{\n  \"format\": \"pathway-profile\",\n  \"version\": 1,\n  \
+             \"source\": \"run\",\n  \"label\": \"{label}\",\n  \
+             \"generations\": 4,\n  \"evaluations\": 100,\n  \"wall_ms\": 10,\n  \
+             \"phases\": [\n    \
+             {{\"name\": \"eval\", \"calls\": 4, \"total_us\": {eval_us}}},\n    \
+             {{\"name\": \"generation\", \"calls\": 4, \"total_us\": {}}}\n  ],\n  \
+             \"counters\": [],\n  \"gauges\": [],\n  \"histograms\": []\n}}\n",
+            eval_us + 20_000
+        )
+    };
+    let old = dir.join("old.json");
+    let new = dir.join("new.json");
+    std::fs::write(&old, profile("baseline", 100_000)).unwrap();
+    std::fs::write(&new, profile("regressed", 500_000)).unwrap();
+
+    // Identical profiles: every ratio is 1.00x and the gate passes.
+    let output = run_ok(&["profile-diff", old.to_str().unwrap(), old.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("1.00x"), "{stdout}");
+    assert!(stdout.contains("no gated phase regressed"), "{stdout}");
+
+    // A 5x eval regression trips the default 4x gate with exit 1.
+    let output = pathway()
+        .args(["profile-diff", old.to_str().unwrap(), new.to_str().unwrap()])
+        .output()
+        .expect("spawn pathway");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("'eval'") && stderr.contains("5.00x"),
+        "{stderr}"
+    );
+
+    // The same pair passes a loosened threshold.
+    run_ok(&[
+        "profile-diff",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--threshold",
+        "6.0",
+    ]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn inspect_describes_sweeps() {
     let dir = temp_dir("inspect-sweep");

@@ -423,6 +423,139 @@ pub fn check_phase_balance(check: &ProfileCheck) -> Result<(), String> {
     Ok(())
 }
 
+/// Phases whose old-side total is below this many microseconds are
+/// reported by [`diff_profiles`] but never *gated* by
+/// [`check_profile_regression`]: at sub-millisecond totals the ratio is
+/// dominated by timer granularity and scheduling noise, not by code.
+pub const REGRESSION_MIN_PHASE_US: u64 = 1_000;
+
+/// One phase's before/after comparison in a [`ProfileDiff`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseDelta {
+    /// Phase name.
+    pub name: String,
+    /// Old-side total (µs); `None` when the phase is absent there.
+    pub old_total_us: Option<u64>,
+    /// New-side total (µs); `None` when the phase is absent there.
+    pub new_total_us: Option<u64>,
+    /// Old-side per-evaluation cost (µs/eval); `None` when the phase or an
+    /// evaluation count is missing.
+    pub old_per_eval_us: Option<f64>,
+    /// New-side per-evaluation cost (µs/eval).
+    pub new_per_eval_us: Option<f64>,
+    /// New/old cost ratio — per-evaluation when both sides record
+    /// evaluations (so profiles of different lengths compare fairly), raw
+    /// totals otherwise; `None` unless the phase exists on both sides with
+    /// a positive old cost.
+    pub ratio: Option<f64>,
+}
+
+/// What [`diff_profiles`] computed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileDiff {
+    /// Evaluations recorded by the old profile.
+    pub old_evaluations: u64,
+    /// Evaluations recorded by the new profile.
+    pub new_evaluations: u64,
+    /// Per-phase deltas over the *union* of phase names, sorted by name.
+    pub phases: Vec<PhaseDelta>,
+}
+
+/// Compares two validated profiles phase by phase. Costs are normalized
+/// per evaluation whenever both profiles record evaluation counts, so a
+/// 150-generation baseline and a 10-generation smoke run still compare
+/// like for like; with a missing count the raw totals are compared
+/// directly. Deterministic: output order is the sorted union of phase
+/// names.
+pub fn diff_profiles(old: &ProfileCheck, new: &ProfileCheck) -> ProfileDiff {
+    let fold = |check: &ProfileCheck| -> BTreeMap<String, u64> {
+        check
+            .phases
+            .iter()
+            .map(|phase| (phase.name.clone(), phase.total_us))
+            .collect()
+    };
+    let old_phases = fold(old);
+    let new_phases = fold(new);
+    let per_eval = |total_us: u64, evaluations: u64| {
+        (evaluations > 0).then(|| total_us as f64 / evaluations as f64)
+    };
+    let mut names: Vec<&String> = old_phases.keys().chain(new_phases.keys()).collect();
+    names.sort();
+    names.dedup();
+    let phases = names
+        .into_iter()
+        .map(|name| {
+            let old_total_us = old_phases.get(name).copied();
+            let new_total_us = new_phases.get(name).copied();
+            let old_per_eval_us = old_total_us.and_then(|us| per_eval(us, old.evaluations));
+            let new_per_eval_us = new_total_us.and_then(|us| per_eval(us, new.evaluations));
+            let ratio = match (old_per_eval_us, new_per_eval_us) {
+                (Some(before), Some(after)) if before > 0.0 => Some(after / before),
+                _ => match (old_total_us, new_total_us) {
+                    (Some(before), Some(after)) if before > 0 => Some(after as f64 / before as f64),
+                    _ => None,
+                },
+            };
+            PhaseDelta {
+                name: name.clone(),
+                old_total_us,
+                new_total_us,
+                old_per_eval_us,
+                new_per_eval_us,
+                ratio,
+            }
+        })
+        .collect();
+    ProfileDiff {
+        old_evaluations: old.evaluations,
+        new_evaluations: new.evaluations,
+        phases,
+    }
+}
+
+/// Gates a [`ProfileDiff`] against a regression `threshold` (a new/old
+/// cost ratio; `4.0` is a sensible CI default — generous enough to absorb
+/// a baseline measured on different hardware, tight enough to catch a
+/// kernel regressing by an order of magnitude). Gated phases are those
+/// with a computable ratio, an old-side total of at least
+/// [`REGRESSION_MIN_PHASE_US`], and a name other than `checkpoint_write`
+/// (fsync-bound, unrelated to compute).
+///
+/// # Errors
+///
+/// One line per regressed phase, joined with `; `.
+pub fn check_profile_regression(diff: &ProfileDiff, threshold: f64) -> Result<(), String> {
+    assert!(
+        threshold.is_finite() && threshold > 0.0,
+        "regression threshold must be positive and finite"
+    );
+    let regressions: Vec<String> = diff
+        .phases
+        .iter()
+        .filter(|delta| delta.name != "checkpoint_write")
+        .filter(|delta| {
+            delta
+                .old_total_us
+                .is_some_and(|us| us >= REGRESSION_MIN_PHASE_US)
+        })
+        .filter_map(|delta| {
+            let ratio = delta.ratio?;
+            (ratio > threshold).then(|| {
+                format!(
+                    "phase '{}' regressed {:.2}x (threshold {:.2}x)",
+                    delta.name, ratio, threshold
+                )
+            })
+        })
+        .collect();
+    if regressions.is_empty() {
+        Ok(())
+    } else {
+        Err(regressions.join("; "))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -538,6 +671,81 @@ mod tests {
             phase("checkpoint_write", 500_000),
         ]))
         .expect("checkpoint writes are excluded from the balance");
+    }
+
+    fn check_with(evaluations: u64, phases: &[(&str, u64)]) -> ProfileCheck {
+        ProfileCheck {
+            source: "run".to_string(),
+            label: "test".to_string(),
+            generations: 1,
+            evaluations,
+            wall_ms: 1,
+            phases: phases
+                .iter()
+                .map(|&(name, total_us)| PhaseEntry {
+                    name: name.to_string(),
+                    calls: 1,
+                    total_us,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn diff_normalizes_per_evaluation_across_different_run_lengths() {
+        // Same per-eval cost at 10x the evaluations: ratio 1.0.
+        let old = check_with(100, &[("eval", 50_000)]);
+        let new = check_with(1000, &[("eval", 500_000)]);
+        let diff = diff_profiles(&old, &new);
+        assert_eq!(diff.old_evaluations, 100);
+        assert_eq!(diff.new_evaluations, 1000);
+        let eval = &diff.phases[0];
+        assert_eq!(eval.name, "eval");
+        assert_eq!(eval.old_per_eval_us, Some(500.0));
+        assert_eq!(eval.new_per_eval_us, Some(500.0));
+        assert_eq!(eval.ratio, Some(1.0));
+        check_profile_regression(&diff, 1.01).expect("no regression at equal cost");
+    }
+
+    #[test]
+    fn diff_covers_the_union_of_phases_and_falls_back_to_raw_totals() {
+        let old = check_with(0, &[("eval", 4_000), ("variation", 1_000)]);
+        let new = check_with(0, &[("eval", 2_000), ("migration", 500)]);
+        let diff = diff_profiles(&old, &new);
+        let names: Vec<&str> = diff.phases.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["eval", "migration", "variation"]);
+        let eval = &diff.phases[0];
+        // No evaluation counts: raw-total ratio.
+        assert_eq!(eval.old_per_eval_us, None);
+        assert_eq!(eval.ratio, Some(0.5));
+        // One-sided phases carry no ratio and never gate.
+        assert_eq!(diff.phases[1].ratio, None);
+        assert_eq!(diff.phases[2].ratio, None);
+        check_profile_regression(&diff, 4.0).expect("one-sided phases pass");
+    }
+
+    #[test]
+    fn regression_gate_fires_on_large_ratios_but_ignores_noise_phases() {
+        // A 5x regression on a substantial phase trips a 4x threshold.
+        let old = check_with(100, &[("eval", 100_000)]);
+        let new = check_with(100, &[("eval", 500_000)]);
+        let err = check_profile_regression(&diff_profiles(&old, &new), 4.0)
+            .expect_err("5x regression must fail the 4x gate");
+        assert!(err.contains("'eval'"), "message names the phase: {err}");
+        assert!(check_profile_regression(&diff_profiles(&old, &new), 5.5).is_ok());
+
+        // Sub-millisecond phases are reported but not gated.
+        let old = check_with(100, &[("tiny", REGRESSION_MIN_PHASE_US - 1)]);
+        let new = check_with(100, &[("tiny", 900_000)]);
+        let diff = diff_profiles(&old, &new);
+        assert!(diff.phases[0].ratio.is_some(), "delta is still reported");
+        check_profile_regression(&diff, 4.0).expect("noise floor filters the gate");
+
+        // checkpoint_write is fsync-bound and never gated.
+        let old = check_with(100, &[("checkpoint_write", 100_000)]);
+        let new = check_with(100, &[("checkpoint_write", 900_000)]);
+        check_profile_regression(&diff_profiles(&old, &new), 4.0)
+            .expect("checkpoint_write is exempt");
     }
 
     #[test]

@@ -7,10 +7,14 @@
 //! oracle the paper actually describes, and orders of magnitude more
 //! expensive. The batch-level amortization that makes it affordable inside
 //! an optimization loop: each candidate's integration is **warm-started**
-//! from the steady state of the nearest already-evaluated parent design, so
-//! consecutive generations (whose offspring cluster around their parents)
-//! pay for tracking the difference between designs instead of re-spooling
-//! the whole autocatalytic transient from the cold-start state every time.
+//! from the steady state of the nearest already-evaluated design in a
+//! bounded library spanning *all* previous generations, so consecutive
+//! generations (whose offspring cluster around their parents) pay for
+//! tracking the difference between designs instead of re-spooling the whole
+//! autocatalytic transient from the cold-start state every time. The
+//! library is indexed by a static k-d tree over capacity space, rebuilt
+//! once per commit, so each lookup costs `O(log n)` expected instead of a
+//! linear scan over every design ever settled.
 
 use std::cmp::Ordering;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
@@ -21,16 +25,47 @@ use pathway_moo::engine::MetricsRegistry;
 use pathway_moo::MultiObjectiveProblem;
 use pathway_photosynthesis::{EnzymePartition, OdeUptakeEvaluator, Scenario};
 
-/// The pool of parent steady states candidate evaluations warm-start from.
+/// Upper bound on the warm-start library. Generous enough to hold several
+/// generations of a typical population (60–200 designs) while keeping the
+/// worst-case rebuild and memory footprint fixed.
+const MAX_WARM_START_POOL: usize = 512;
+
+/// One settled design in the warm-start library.
+#[derive(Debug, Clone)]
+struct WarmEntry {
+    capacities: Vec<f64>,
+    state: Vector,
+    /// The commit epoch that produced this steady state; newer stamps win
+    /// deduplication and survive eviction longer.
+    stamp: u64,
+}
+
+/// A node of the static k-d tree over the committed entries. Children are
+/// indices into [`WarmStartPool::nodes`].
+#[derive(Debug, Clone, Copy)]
+struct KdNode {
+    entry: usize,
+    axis: usize,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+/// The library of parent steady states candidate evaluations warm-start
+/// from.
 ///
-/// `committed` is the frozen pool every evaluation reads; `pending` collects
-/// the steady states of the batch currently being evaluated. The hand-over
-/// happens in [`MultiObjectiveProblem::prepare_batch`] — once per *whole*
-/// batch, before any chunk is evaluated — which is the linchpin of the
-/// determinism story (see the type-level docs below).
+/// `committed` is the frozen library every evaluation reads — a bounded,
+/// deduplicated union of every previously committed generation, indexed by
+/// the k-d tree in `nodes`; `pending` collects the steady states of the
+/// batch currently being evaluated. The hand-over happens in
+/// [`MultiObjectiveProblem::prepare_batch`] — once per *whole* batch,
+/// before any chunk is evaluated — which is the linchpin of the determinism
+/// story (see the type-level docs below).
 #[derive(Debug, Default)]
 struct WarmStartPool {
-    committed: Vec<(Vec<f64>, Vector)>,
+    committed: Vec<WarmEntry>,
+    /// Static k-d tree over `committed`, rebuilt by every non-empty commit.
+    nodes: Vec<KdNode>,
+    root: Option<usize>,
     pending: Vec<(Vec<f64>, Vector)>,
     /// Bumped by every commit. `evaluate_batch` snapshots it when a chunk
     /// starts and re-checks it before recording results: a mismatch means a
@@ -40,6 +75,156 @@ struct WarmStartPool {
     /// the run's determinism contract is already broken and we fail loudly
     /// instead of silently diverging.
     epoch: u64,
+    /// When set, commits discard `pending` instead of merging it: the
+    /// library is pinned to its current contents. See
+    /// [`OdeLeafRedesignProblem::freeze_warm_start_pool`].
+    frozen: bool,
+}
+
+impl WarmStartPool {
+    /// Folds `pending` into the bounded committed library and rebuilds the
+    /// k-d index. The result is a pure function of the *multiset* of
+    /// commits so far — entries are stamped with the commit epoch, merged
+    /// in a canonical (capacities, newest-first) order, deduplicated
+    /// keeping the freshest steady state per design, and evicted
+    /// oldest-generation-first (lexicographic capacities breaking ties
+    /// within a generation) once the library exceeds
+    /// [`MAX_WARM_START_POOL`]. Worker scheduling never shows: the sort
+    /// erases `pending`'s arrival order.
+    fn commit(&mut self) {
+        self.epoch += 1;
+        if self.frozen {
+            self.pending.clear();
+            return;
+        }
+        if self.pending.is_empty() {
+            return;
+        }
+        let stamp = self.epoch;
+        let mut entries = std::mem::take(&mut self.committed);
+        entries.extend(self.pending.drain(..).map(|(capacities, state)| WarmEntry {
+            capacities,
+            state,
+            stamp,
+        }));
+        // Newest stamp first within equal capacities, so the dedup keeps
+        // the freshest steady state for a re-evaluated design.
+        entries.sort_by(|a, b| {
+            lex_cmp(&a.capacities, &b.capacities).then_with(|| b.stamp.cmp(&a.stamp))
+        });
+        entries.dedup_by(|a, b| lex_cmp(&a.capacities, &b.capacities) == Ordering::Equal);
+        if entries.len() > MAX_WARM_START_POOL {
+            entries.sort_by(|a, b| {
+                b.stamp
+                    .cmp(&a.stamp)
+                    .then_with(|| lex_cmp(&a.capacities, &b.capacities))
+            });
+            entries.truncate(MAX_WARM_START_POOL);
+            entries.sort_by(|a, b| lex_cmp(&a.capacities, &b.capacities));
+        }
+        self.committed = entries;
+        self.rebuild_tree();
+    }
+
+    fn rebuild_tree(&mut self) {
+        self.nodes.clear();
+        self.nodes.reserve(self.committed.len());
+        let mut indices: Vec<usize> = (0..self.committed.len()).collect();
+        self.root = build_subtree(&self.committed, &mut indices, 0, &mut self.nodes);
+    }
+
+    /// The committed entry nearest to `x`: minimal squared Euclidean
+    /// distance in capacity space, ties broken towards the
+    /// lexicographically smallest capacities. That minimum is unique under
+    /// the `(distance, lex)` total order (committed capacities are
+    /// distinct), so the answer depends only on the library *set*, never on
+    /// the tree layout or traversal order.
+    fn nearest(&self, x: &[f64]) -> Option<&WarmEntry> {
+        let root = self.root?;
+        let mut best: Option<(usize, f64)> = None;
+        self.nearest_in(root, x, &mut best);
+        best.map(|(entry, _)| &self.committed[entry])
+    }
+
+    fn nearest_in(&self, node: usize, x: &[f64], best: &mut Option<(usize, f64)>) {
+        let KdNode {
+            entry,
+            axis,
+            left,
+            right,
+        } = self.nodes[node];
+        let capacities = &self.committed[entry].capacities;
+        let distance = squared_distance(capacities, x);
+        let better = match best {
+            None => true,
+            Some((incumbent, incumbent_distance)) => match distance.total_cmp(incumbent_distance) {
+                Ordering::Less => true,
+                Ordering::Greater => false,
+                Ordering::Equal => {
+                    lex_cmp(capacities, &self.committed[*incumbent].capacities) == Ordering::Less
+                }
+            },
+        };
+        if better {
+            *best = Some((entry, distance));
+        }
+        let gap = x[axis] - capacities[axis];
+        let (near, far) = if gap < 0.0 {
+            (left, right)
+        } else {
+            (right, left)
+        };
+        if let Some(child) = near {
+            self.nearest_in(child, x, best);
+        }
+        if let Some(child) = far {
+            let best_distance = best.expect("best was set at this node").1;
+            // Visit the far side on plane-distance *ties* (`<=`): an
+            // equal-distance entry there must still compete, or the
+            // lexicographic tie-break would depend on the tree layout
+            // instead of the library set.
+            if gap * gap <= best_distance {
+                self.nearest_in(child, x, best);
+            }
+        }
+    }
+}
+
+/// Builds a balanced k-d subtree over `indices` (indices into `entries`),
+/// appending nodes to `nodes` and returning the subtree root. The split
+/// axis cycles with depth; the median is chosen under the total order
+/// (axis coordinate, then full lexicographic capacities), so the layout is
+/// a pure function of the entry set.
+fn build_subtree(
+    entries: &[WarmEntry],
+    indices: &mut [usize],
+    depth: usize,
+    nodes: &mut Vec<KdNode>,
+) -> Option<usize> {
+    let (&first, _) = indices.split_first()?;
+    let axis = depth % entries[first].capacities.len();
+    indices.sort_by(|&a, &b| {
+        entries[a].capacities[axis]
+            .total_cmp(&entries[b].capacities[axis])
+            .then_with(|| lex_cmp(&entries[a].capacities, &entries[b].capacities))
+    });
+    let median = indices.len() / 2;
+    let entry = indices[median];
+    let (left_half, rest) = indices.split_at_mut(median);
+    let right_half = &mut rest[1..];
+    let left = build_subtree(entries, left_half, depth + 1, nodes);
+    let right = build_subtree(entries, right_half, depth + 1, nodes);
+    nodes.push(KdNode {
+        entry,
+        axis,
+        left,
+        right,
+    });
+    Some(nodes.len() - 1)
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
 /// The leaf-redesign problem evaluated through the dynamic ODE model, with
@@ -52,16 +237,17 @@ struct WarmStartPool {
 ///
 /// # Warm starts and determinism
 ///
-/// The warm-start pool holds the steady states of the **previous**
-/// generation's batch, committed in
+/// The warm-start library holds the steady states of **every** previous
+/// generation (bounded, deduplicated, newest-first eviction), committed in
 /// [`MultiObjectiveProblem::prepare_batch`] and frozen while the current
 /// batch is evaluated. Every candidate then picks its start state as a pure
-/// function of `(candidate, frozen pool)` — nearest parent by Euclidean
-/// distance in capacity space, ties broken by lexicographic comparison of
-/// the parent's capacities — so chunked, pooled evaluation is bit-identical
-/// to serial evaluation of the same batch, and the commit itself sorts the
-/// collected states by content, which makes the pool independent of the
-/// order worker threads finished in. `tests/determinism.rs` enforces both.
+/// function of `(candidate, frozen library)` — nearest settled design by
+/// Euclidean distance in capacity space via a static k-d tree, ties broken
+/// by lexicographic comparison of the design's capacities — so chunked,
+/// pooled evaluation is bit-identical to serial evaluation of the same
+/// batch, and the commit itself sorts the collected states by content,
+/// which makes the library independent of the order worker threads
+/// finished in. `tests/determinism.rs` enforces both.
 ///
 /// What the warm start is **not**: a pure function of the candidate alone.
 /// Results depend on the evaluation history of this problem *instance*, so
@@ -160,6 +346,20 @@ impl OdeLeafRedesignProblem {
         &self.scenario
     }
 
+    /// Pins the warm-start library to its current committed contents:
+    /// every later [`MultiObjectiveProblem::prepare_batch`] still bumps the
+    /// epoch (so the concurrent-driver guard keeps working) but discards
+    /// the batch's settled states instead of merging them. Use this to
+    /// re-score designs against a *fixed* parent library — replaying a
+    /// front, or benchmarking the evaluator on a reproducible warm/cold
+    /// cost profile that does not drift as the library absorbs new parents.
+    pub fn freeze_warm_start_pool(&self) {
+        self.pool
+            .write()
+            .expect("warm-start pool lock poisoned")
+            .frozen = true;
+    }
+
     /// Number of parent steady states currently committed for warm starts.
     pub fn warm_start_pool_size(&self) -> usize {
         self.pool
@@ -169,34 +369,13 @@ impl OdeLeafRedesignProblem {
             .len()
     }
 
-    /// The nearest committed parent's steady state, or `None` for a cold
-    /// pool. Deterministic for a given pool *set*: squared Euclidean
+    /// The nearest committed design's steady state, or `None` for a cold
+    /// library. Deterministic for a given library *set*: squared Euclidean
     /// distance in capacity space, ties broken towards the lexicographically
-    /// smallest parent capacities.
+    /// smallest capacities ([`WarmStartPool::nearest`]).
     fn warm_start(&self, x: &[f64]) -> Option<Vector> {
         let pool = self.pool.read().expect("warm-start pool lock poisoned");
-        let mut best: Option<(&Vec<f64>, &Vector, f64)> = None;
-        for (capacities, state) in &pool.committed {
-            let distance: f64 = capacities
-                .iter()
-                .zip(x)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
-            let better = match &best {
-                None => true,
-                Some((incumbent, _, incumbent_distance)) => {
-                    match distance.total_cmp(incumbent_distance) {
-                        Ordering::Less => true,
-                        Ordering::Greater => false,
-                        Ordering::Equal => lex_cmp(capacities, incumbent) == Ordering::Less,
-                    }
-                }
-            };
-            if better {
-                best = Some((capacities, state, distance));
-            }
-        }
-        best.map(|(_, state, _)| state.clone())
+        pool.nearest(x).map(|entry| entry.state.clone())
     }
 
     /// Evaluates one candidate against the frozen pool: objectives plus the
@@ -287,25 +466,21 @@ impl MultiObjectiveProblem for OdeLeafRedesignProblem {
         results
     }
 
-    /// Commits the previous batch's steady states as the new parent pool.
+    /// Folds the previous batch's steady states into the bounded parent
+    /// library and rebuilds its k-d index (`WarmStartPool::commit`).
     /// Runs once per whole batch (before any chunk), so every chunk of the
-    /// incoming batch sees the same frozen pool; the sort makes the pool a
-    /// pure function of the *set* of settled parents, independent of worker
-    /// scheduling.
+    /// incoming batch sees the same frozen library; the canonical merge
+    /// order makes the library a pure function of the commit history,
+    /// independent of worker scheduling. Every prepare bumps the epoch —
+    /// even a no-op commit — so that a *second* driver's prepare
+    /// interleaving with a batch in flight trips the guard in
+    /// `evaluate_batch` from the very first generation, not only once the
+    /// library is non-empty.
     fn prepare_batch(&self, _xs: &[Vec<f64>]) {
-        let mut pool = self.pool.write().expect("warm-start pool lock poisoned");
-        // Every prepare bumps the epoch — even a no-op commit — so that a
-        // *second* driver's prepare interleaving with a batch in flight
-        // trips the guard in `evaluate_batch` from the very first
-        // generation, not only once the pool is non-empty.
-        pool.epoch += 1;
-        if pool.pending.is_empty() {
-            return;
-        }
-        let mut parents = std::mem::take(&mut pool.pending);
-        parents.sort_by(|a, b| lex_cmp(&a.0, &b.0));
-        parents.dedup_by(|a, b| a.0 == b.0);
-        pool.committed = parents;
+        self.pool
+            .write()
+            .expect("warm-start pool lock poisoned")
+            .commit();
     }
 
     fn name(&self) -> &str {
@@ -340,6 +515,30 @@ mod tests {
             assert_eq!(objectives, &itemwise.evaluate(x));
             assert_eq!(*violation, 0.0);
         }
+    }
+
+    #[test]
+    fn frozen_pool_discards_new_parents_but_keeps_serving_the_old_ones() {
+        let problem = OdeLeafRedesignProblem::new(Scenario::present_low_export());
+        let xs = small_batch();
+        problem.prepare_batch(&xs);
+        problem.evaluate_batch(&xs);
+        problem.prepare_batch(&xs);
+        let committed = problem.warm_start_pool_size();
+        assert!(committed > 0, "the settling designs were committed");
+
+        problem.freeze_warm_start_pool();
+        let novel = vec![EnzymePartition::natural().scaled(1.2).capacities().to_vec()];
+        let frozen_scores = problem.evaluate_batch(&novel);
+        problem.prepare_batch(&novel);
+        assert_eq!(
+            problem.warm_start_pool_size(),
+            committed,
+            "a frozen library must not absorb newly settled parents"
+        );
+        // The pinned library still serves warm starts, so re-scoring is
+        // reproducible batch over batch.
+        assert_eq!(problem.evaluate_batch(&novel), frozen_scores);
     }
 
     #[test]
@@ -411,6 +610,110 @@ mod tests {
         assert_eq!(problem.num_objectives(), 2);
         assert_eq!(problem.bounds().len(), 23);
         assert_eq!(problem.name(), "leaf-design-ode");
+    }
+
+    /// Reference nearest-neighbour: the linear scan the k-d tree replaced,
+    /// with the same `(distance, lex)` tie-break.
+    fn linear_nearest<'a>(entries: &'a [WarmEntry], x: &[f64]) -> Option<&'a WarmEntry> {
+        let mut best: Option<(&'a WarmEntry, f64)> = None;
+        for entry in entries {
+            let distance = squared_distance(&entry.capacities, x);
+            let better = match &best {
+                None => true,
+                Some((incumbent, incumbent_distance)) => {
+                    match distance.total_cmp(incumbent_distance) {
+                        Ordering::Less => true,
+                        Ordering::Greater => false,
+                        Ordering::Equal => {
+                            lex_cmp(&entry.capacities, &incumbent.capacities) == Ordering::Less
+                        }
+                    }
+                }
+            };
+            if better {
+                best = Some((entry, distance));
+            }
+        }
+        best.map(|(entry, _)| entry)
+    }
+
+    /// A tiny deterministic LCG; coordinates land on a coarse grid so that
+    /// distance ties (which exercise the lexicographic tie-break and the
+    /// `<=` far-side visit) actually occur.
+    fn lcg_coord(seed: &mut u64) -> f64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*seed >> 33) % 8) as f64 * 0.5
+    }
+
+    #[test]
+    fn kd_nearest_matches_the_linear_scan_reference_exactly() {
+        let dims = 5;
+        let mut seed = 42u64;
+        let mut pool = WarmStartPool::default();
+        for i in 0..200 {
+            let capacities: Vec<f64> = (0..dims).map(|_| lcg_coord(&mut seed)).collect();
+            pool.pending.push((capacities, Vector::filled(1, i as f64)));
+        }
+        pool.commit();
+        assert!(pool.committed.len() > 100, "grid collisions stay rare-ish");
+        assert_eq!(pool.nodes.len(), pool.committed.len());
+        for _ in 0..200 {
+            let query: Vec<f64> = (0..dims).map(|_| lcg_coord(&mut seed)).collect();
+            let from_tree = pool.nearest(&query).expect("library is non-empty");
+            let from_scan = linear_nearest(&pool.committed, &query).unwrap();
+            assert_eq!(
+                from_tree.capacities, from_scan.capacities,
+                "query {query:?}"
+            );
+            assert_eq!(from_tree.state[0], from_scan.state[0]);
+        }
+    }
+
+    #[test]
+    fn library_retains_parents_across_generations_and_prefers_fresh_duplicates() {
+        let mut pool = WarmStartPool::default();
+        pool.pending.push((vec![1.0, 0.0], Vector::filled(1, 1.0)));
+        pool.commit();
+        pool.pending.push((vec![0.0, 1.0], Vector::filled(1, 2.0)));
+        // The same design re-settled in a later generation.
+        pool.pending.push((vec![1.0, 0.0], Vector::filled(1, 3.0)));
+        pool.commit();
+        // The old wholesale-replacement pool would have dropped nothing here,
+        // but a third commit with fresh designs used to forget generation 1;
+        // the library keeps both generations, deduplicated.
+        assert_eq!(pool.committed.len(), 2);
+        let fresh = pool.nearest(&[1.0, 0.0]).unwrap();
+        assert_eq!(fresh.stamp, 2, "dedup keeps the newest steady state");
+        assert_eq!(fresh.state[0], 3.0);
+        let retained = pool.nearest(&[0.0, 1.0]).unwrap();
+        assert_eq!(retained.state[0], 2.0);
+        pool.pending.push((vec![5.0, 5.0], Vector::filled(1, 4.0)));
+        pool.commit();
+        assert_eq!(
+            pool.committed.len(),
+            3,
+            "generation 1 survives generation 3"
+        );
+    }
+
+    #[test]
+    fn pool_is_bounded_and_evicts_the_oldest_generations_first() {
+        let mut pool = WarmStartPool::default();
+        for i in 0..MAX_WARM_START_POOL {
+            pool.pending.push((vec![i as f64], Vector::filled(1, 0.0)));
+        }
+        pool.commit();
+        for i in 0..10 {
+            pool.pending
+                .push((vec![-(1.0 + i as f64)], Vector::filled(1, 1.0)));
+        }
+        pool.commit();
+        assert_eq!(pool.committed.len(), MAX_WARM_START_POOL);
+        assert_eq!(pool.nodes.len(), MAX_WARM_START_POOL);
+        let newest = pool.committed.iter().filter(|e| e.stamp == 2).count();
+        assert_eq!(newest, 10, "the whole fresh generation survives eviction");
     }
 
     #[test]

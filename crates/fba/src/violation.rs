@@ -71,32 +71,49 @@ pub fn steady_state_violation_batch(
         }
     }
     let stoichiometry = model.stoichiometric_matrix();
+    let metabolites = stoichiometry.rows();
     let mut norms = Vec::with_capacity(batch.len());
+    // One (rhs, residuals) buffer pair serves every full-width tile — the
+    // kernel runs through `mat_mul_dense_into`, so a generation-sized batch
+    // allocates two matrices total instead of two per tile. The final
+    // narrower tile (if any) gets its own pair.
+    let mut buffers: Option<(Matrix, Matrix)> = None;
+    let mut sums = [0.0f64; BATCH_TILE];
     for tile in batch.chunks(BATCH_TILE) {
         let width = tile.len();
+        // A narrower chunk is always the batch's last, so swapping the
+        // buffers out for right-sized ones happens at most once.
+        if buffers.as_ref().is_none_or(|(rhs, _)| rhs.cols() != width) {
+            buffers = Some((
+                Matrix::zeros(reactions, width),
+                Matrix::zeros(metabolites, width),
+            ));
+        }
+        let (rhs, residuals) = buffers.as_mut().expect("buffers just ensured");
         // The tile's candidates become the *columns* of one dense
         // right-hand side, so the sparse kernel's inner loop runs along the
         // batch dimension in contiguous memory. Filled row-major (writes
         // contiguous, reads striped over at most BATCH_TILE candidate
         // vectors).
-        let mut data = vec![0.0; reactions * width];
-        for (i, row) in data.chunks_exact_mut(width).enumerate() {
+        for (i, row) in rhs.as_mut_slice().chunks_exact_mut(width).enumerate() {
             for (slot, fluxes) in row.iter_mut().zip(tile) {
                 *slot = fluxes[i];
             }
         }
-        let rhs = Matrix::from_flat(reactions, width, data).map_err(FbaError::from)?;
-        let residuals = stoichiometry.mat_mul_dense(&rhs).map_err(FbaError::from)?;
+        stoichiometry
+            .mat_mul_dense_into(rhs, residuals)
+            .map_err(FbaError::from)?;
         // ‖column j‖₂, accumulating squares in row order — the order
         // `Vector::norm2` uses, which keeps the batch bit-identical to the
         // per-candidate path.
-        let mut sums = vec![0.0f64; width];
+        let sums = &mut sums[..width];
+        sums.fill(0.0);
         for r in 0..residuals.rows() {
             for (sum, &v) in sums.iter_mut().zip(residuals.row(r)) {
                 *sum += v * v;
             }
         }
-        norms.extend(sums.into_iter().map(f64::sqrt));
+        norms.extend(sums.iter().map(|&s| s.sqrt()));
     }
     Ok(norms)
 }

@@ -103,6 +103,30 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutable view of the underlying row-major buffer. This is what lets
+    /// hot callers (the LU refactorization path, the Newton workspace)
+    /// rewrite a matrix in place instead of allocating a fresh one.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Overwrites this matrix with the contents of `other`, reusing the
+    /// existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the shapes differ.
+    pub fn copy_from(&mut self, other: &Matrix) -> crate::Result<()> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("{}x{}", self.rows, self.cols),
+                found: format!("{}x{}", other.rows, other.cols),
+            });
+        }
+        self.data.copy_from_slice(&other.data);
+        Ok(())
+    }
+
     /// Borrow of a single row as a slice.
     ///
     /// # Panics
@@ -180,15 +204,20 @@ impl Matrix {
                 found: format!("{} rows", other.rows),
             });
         }
+        // Row-slice inner loops (instead of per-element `Index` calls) keep
+        // the accumulation order identical while letting the compiler
+        // autovectorize the fused multiply-adds.
         let mut out = Matrix::zeros(self.rows, other.cols);
         for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(r, k)];
+            let a_row = self.row(r);
+            let out_row = out.row_mut(r);
+            for (k, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                for c in 0..other.cols {
-                    out[(r, c)] += a * other[(k, c)];
+                let b_row = other.row(k);
+                for (acc, &b) in out_row.iter_mut().zip(b_row) {
+                    *acc += a * b;
                 }
             }
         }

@@ -197,24 +197,72 @@ impl CsrMatrix {
     /// # }
     /// ```
     pub fn mat_mul_dense(&self, rhs: &Matrix) -> crate::Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows, rhs.cols());
+        self.mat_mul_dense_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`CsrMatrix::mat_mul_dense`] into a caller-provided output matrix
+    /// (cleared and overwritten), allocating nothing. Batch kernels that run
+    /// once per generation — the FBA steady-state violation tiles — reuse
+    /// one output buffer across all tiles through this entry point.
+    ///
+    /// The inner loop is register-tiled: output columns are processed in
+    /// blocks of 8 accumulated in a local array, so the compiler keeps the
+    /// partial sums in SIMD registers instead of re-walking the output row
+    /// per stored entry. Per output column the additions still happen in
+    /// stored-entry order, so every column remains bit-identical to
+    /// `mat_vec` (and to the untiled loop this replaced).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if
+    /// `rhs.rows() != self.cols()` or `out` is not
+    /// `self.rows() × rhs.cols()`.
+    pub fn mat_mul_dense_into(&self, rhs: &Matrix, out: &mut Matrix) -> crate::Result<()> {
         if rhs.rows() != self.cols {
             return Err(LinalgError::DimensionMismatch {
                 expected: format!("{} rows", self.cols),
                 found: format!("{} rows", rhs.rows()),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols());
+        if out.rows() != self.rows || out.cols() != rhs.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("{}x{}", self.rows, rhs.cols()),
+                found: format!("{}x{}", out.rows(), out.cols()),
+            });
+        }
+        const COL_TILE: usize = 8;
+        let width = rhs.cols();
         for r in 0..self.rows {
+            let entries = self.row_ptr[r]..self.row_ptr[r + 1];
             let out_row = out.row_mut(r);
-            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
-                let value = self.values[k];
-                let rhs_row = rhs.row(self.col_idx[k]);
-                for (acc, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *acc += value * b;
+            out_row.fill(0.0);
+            let mut c0 = 0;
+            while c0 + COL_TILE <= width {
+                let mut acc = [0.0f64; COL_TILE];
+                for k in entries.clone() {
+                    let value = self.values[k];
+                    let rhs_tile = &rhs.row(self.col_idx[k])[c0..c0 + COL_TILE];
+                    for (a, &b) in acc.iter_mut().zip(rhs_tile) {
+                        *a += value * b;
+                    }
+                }
+                out_row[c0..c0 + COL_TILE].copy_from_slice(&acc);
+                c0 += COL_TILE;
+            }
+            // Remainder columns (< COL_TILE): same per-column add order.
+            if c0 < width {
+                for k in entries.clone() {
+                    let value = self.values[k];
+                    let rhs_tail = &rhs.row(self.col_idx[k])[c0..];
+                    for (acc, &b) in out_row[c0..].iter_mut().zip(rhs_tail) {
+                        *acc += value * b;
+                    }
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Converts to a dense [`Matrix`]. Intended for small matrices and tests.
@@ -334,6 +382,49 @@ mod tests {
         let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]).unwrap();
         assert!(m.mat_mul_dense(&Matrix::zeros(3, 4)).is_err());
         assert_eq!(m.mat_mul_dense(&Matrix::zeros(2, 0)).unwrap().cols(), 0);
+        let mut wrong = Matrix::zeros(3, 4);
+        assert!(m
+            .mat_mul_dense_into(&Matrix::zeros(2, 4), &mut wrong)
+            .is_err());
+    }
+
+    #[test]
+    fn wide_mat_mul_dense_stays_bit_identical_across_the_tile_boundary() {
+        // 19 columns: two full 8-wide register tiles plus a 3-wide
+        // remainder; every column must still match mat_vec bit for bit.
+        let sparse = CsrMatrix::from_triplets(
+            3,
+            4,
+            &[
+                (0, 0, 0.3),
+                (0, 3, -1.75),
+                (1, 2, 11.0),
+                (2, 1, 1e-4),
+                (2, 2, -3.5),
+                (2, 3, 0.875),
+            ],
+        )
+        .unwrap();
+        let width = 19;
+        let mut rhs = Matrix::zeros(4, width);
+        for i in 0..4 {
+            for j in 0..width {
+                rhs[(i, j)] = ((i * 131 + j * 37) % 101) as f64 / 9.0 - 5.0;
+            }
+        }
+        let product = sparse.mat_mul_dense(&rhs).unwrap();
+        for j in 0..width {
+            let expected = sparse.mat_vec(&rhs.column(j)).unwrap();
+            for i in 0..sparse.rows() {
+                assert_eq!(product[(i, j)], expected[i], "entry ({i}, {j})");
+            }
+        }
+        // The in-place variant overwrites a dirty buffer with the same
+        // values.
+        let mut out = Matrix::zeros(3, width);
+        out.as_mut_slice().fill(f64::NAN);
+        sparse.mat_mul_dense_into(&rhs, &mut out).unwrap();
+        assert_eq!(out, product);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use pathway_linalg::{Matrix, Vector};
+use pathway_linalg::{LuDecomposition, Matrix, Vector};
 
 use crate::system::validate_inputs;
 use crate::{IntegrationResult, IntegrationStats, Integrator, OdeError, OdeSystem};
@@ -8,7 +8,17 @@ use crate::{IntegrationResult, IntegrationStats, Integrator, OdeError, OdeSystem
 /// Backward Euler is only first-order accurate, but it is L-stable: on stiff
 /// kinetic systems it can march to steady state with step sizes thousands of
 /// times larger than an explicit method would tolerate. The Jacobian is
-/// approximated by forward finite differences and re-factored every step.
+/// approximated by forward finite differences.
+///
+/// The Newton loop is allocation-free after the first step: the Jacobian,
+/// Newton matrix, residual and update share one workspace across all steps,
+/// solves go through [`LuDecomposition::solve_into`], and the first Newton
+/// iteration of each step runs a full partial-pivoting refactorization whose
+/// pivot order later iterations of the same step *reuse*
+/// ([`LuDecomposition::refactor_reusing_pivots`]) — the Newton matrix drifts
+/// only slightly between iterations, so the old pivot order stays valid and
+/// the pivot search and row swaps are skipped (with an automatic fall back
+/// to a full refactorization if it does not).
 ///
 /// # Example
 ///
@@ -80,31 +90,60 @@ impl BackwardEuler {
         self.step
     }
 
-    /// Finite-difference Jacobian of the right-hand side at `(t, y)`.
-    fn numerical_jacobian<S: OdeSystem>(
+    /// Finite-difference Jacobian of the right-hand side at `(t, y)`,
+    /// written into the workspace's `jac` (no allocation).
+    fn numerical_jacobian_into<S: OdeSystem>(
         &self,
         system: &S,
         t: f64,
         y: &Vector,
         f0: &Vector,
+        ws: &mut NewtonWorkspace,
         stats: &mut IntegrationStats,
-    ) -> Matrix {
+    ) {
         let dim = system.dim();
-        let mut jac = Matrix::zeros(dim, dim);
-        let mut perturbed = y.clone();
-        let mut f1 = Vector::zeros(dim);
+        ws.perturbed.as_mut_slice().copy_from_slice(y.as_slice());
         for j in 0..dim {
             let h = self.jacobian_epsilon * (1.0 + y[j].abs());
-            perturbed[j] = y[j] + h;
-            system.rhs(t, &perturbed, &mut f1);
+            ws.perturbed[j] = y[j] + h;
+            system.rhs(t, &ws.perturbed, &mut ws.f1);
             stats.rhs_evaluations += 1;
+            let jac = ws.jac.as_mut_slice();
             for i in 0..dim {
-                jac[(i, j)] = (f1[i] - f0[i]) / h;
+                jac[i * dim + j] = (ws.f1[i] - f0[i]) / h;
             }
-            perturbed[j] = y[j];
+            ws.perturbed[j] = y[j];
         }
         stats.jacobian_evaluations += 1;
-        jac
+    }
+}
+
+/// Buffers reused across every Newton iteration of every step.
+struct NewtonWorkspace {
+    jac: Matrix,
+    newton_matrix: Matrix,
+    residual: Vector,
+    delta: Vector,
+    candidate: Vector,
+    perturbed: Vector,
+    f1: Vector,
+    /// The LU storage (and, within a step, the pivot order) carried from
+    /// solve to solve; `None` until the first factorization.
+    lu: Option<LuDecomposition>,
+}
+
+impl NewtonWorkspace {
+    fn new(dim: usize) -> Self {
+        NewtonWorkspace {
+            jac: Matrix::zeros(dim, dim),
+            newton_matrix: Matrix::zeros(dim, dim),
+            residual: Vector::zeros(dim),
+            delta: Vector::zeros(dim),
+            candidate: Vector::zeros(dim),
+            perturbed: Vector::zeros(dim),
+            f1: Vector::zeros(dim),
+            lu: None,
+        }
     }
 }
 
@@ -122,6 +161,7 @@ impl Integrator for BackwardEuler {
         let mut t = t0;
         let mut y = y0;
         let mut f = Vector::zeros(dim);
+        let mut ws = NewtonWorkspace::new(dim);
 
         while t < t_end {
             let h = self.step.min(t_end - t);
@@ -137,47 +177,62 @@ impl Integrator for BackwardEuler {
                 .expect("dimensions match by construction");
 
             let mut converged = false;
-            for _ in 0..self.max_newton_iterations {
+            for iteration in 0..self.max_newton_iterations {
                 system.rhs(t_new, &y_new, &mut f);
                 stats.rhs_evaluations += 1;
                 stats.newton_iterations += 1;
 
                 // Residual G = y_new - y - h f.
-                let mut residual = Vector::zeros(dim);
                 for i in 0..dim {
-                    residual[i] = y_new[i] - y[i] - h * f[i];
+                    ws.residual[i] = y_new[i] - y[i] - h * f[i];
                 }
-                if residual.norm_inf() <= self.newton_tol * (1.0 + y_new.norm_inf()) {
+                if ws.residual.norm_inf() <= self.newton_tol * (1.0 + y_new.norm_inf()) {
                     converged = true;
                     break;
                 }
 
-                // Jacobian of G: I - h J.
-                let jac = self.numerical_jacobian(system, t_new, &y_new, &f, &mut stats);
-                let mut newton_matrix = Matrix::identity(dim);
-                for i in 0..dim {
-                    for j in 0..dim {
-                        newton_matrix[(i, j)] -= h * jac[(i, j)];
-                    }
+                // Jacobian of G: I - h J, built in place.
+                self.numerical_jacobian_into(system, t_new, &y_new, &f, &mut ws, &mut stats);
+                let nm = ws.newton_matrix.as_mut_slice();
+                for (dst, &src) in nm.iter_mut().zip(ws.jac.as_slice()) {
+                    *dst = -h * src;
                 }
-                let delta = match newton_matrix.solve(&residual) {
-                    Ok(d) => d,
-                    Err(_) => {
-                        return Err(OdeError::NewtonDivergence {
-                            time: t_new,
-                            iterations: stats.newton_iterations,
-                        })
-                    }
+                for i in 0..dim {
+                    nm[i * dim + i] += 1.0;
+                }
+                // Factor: full pivoting on the first iteration of the step,
+                // pivot reuse afterwards (the Newton matrix drifts slowly
+                // within a step), full refactorization as the fallback.
+                let factored = match &mut ws.lu {
+                    None => LuDecomposition::new(&ws.newton_matrix).map(|lu| ws.lu = Some(lu)),
+                    Some(lu) if iteration == 0 => lu.refactor(&ws.newton_matrix),
+                    Some(lu) => lu
+                        .refactor_reusing_pivots(&ws.newton_matrix)
+                        .or_else(|_| lu.refactor(&ws.newton_matrix)),
                 };
+                let solved = factored.and_then(|()| {
+                    ws.lu
+                        .as_ref()
+                        .expect("factorization success stores the decomposition")
+                        .solve_into(&ws.residual, &mut ws.delta)
+                });
+                if solved.is_err() {
+                    return Err(OdeError::NewtonDivergence {
+                        time: t_new,
+                        iterations: stats.newton_iterations,
+                    });
+                }
                 // Damped update: full step unless it would blow up.
                 let mut damping = 1.0;
                 loop {
-                    let mut candidate = y_new.clone();
-                    candidate
-                        .axpy_mut(-damping, &delta)
+                    ws.candidate
+                        .as_mut_slice()
+                        .copy_from_slice(y_new.as_slice());
+                    ws.candidate
+                        .axpy_mut(-damping, &ws.delta)
                         .expect("dimensions match");
-                    if candidate.is_finite() {
-                        y_new = candidate;
+                    if ws.candidate.is_finite() {
+                        std::mem::swap(&mut y_new, &mut ws.candidate);
                         break;
                     }
                     damping *= 0.5;

@@ -74,16 +74,16 @@ impl MetabolitePool {
     ];
 
     /// Index of the pool in the state vector.
-    pub fn index(self) -> usize {
-        Self::ALL
-            .iter()
-            .position(|&p| p == self)
-            .expect("every pool appears in ALL")
+    ///
+    /// The enum variants are declared in `ALL` order, so the discriminant
+    /// *is* the state-vector index (`pool_indices_round_trip` pins this).
+    pub const fn index(self) -> usize {
+        self as usize
     }
 
     /// Number of phosphate groups carried by one molecule of the pool, used by
     /// the free-phosphate feedback.
-    pub fn phosphate_groups(self) -> f64 {
+    pub const fn phosphate_groups(self) -> f64 {
         match self {
             MetabolitePool::RuBP
             | MetabolitePool::Dpga
@@ -107,6 +107,19 @@ impl MetabolitePool {
         }
     }
 }
+
+/// Phosphate groups per pool in state-vector order, so the free-phosphate
+/// feedback is a single slice zip over the state instead of 24 enum
+/// dispatches per right-hand-side call.
+const PHOSPHATE_GROUPS: [f64; POOL_COUNT] = {
+    let mut table = [0.0; POOL_COUNT];
+    let mut i = 0;
+    while i < POOL_COUNT {
+        table[i] = MetabolitePool::ALL[i].phosphate_groups();
+        i += 1;
+    }
+    table
+};
 
 /// The fluxes of interest computed alongside the state derivative.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -135,7 +148,9 @@ pub struct PathwayFluxes {
 /// integrate it; [`OdeUptakeEvaluator`] wraps the steady-state evaluation.
 #[derive(Debug, Clone)]
 pub struct CalvinCycleOde {
-    capacities: Vec<f64>,
+    /// Per-enzyme Vmax in volumetric units (capacity / volume factor),
+    /// precomputed once so the right-hand side never divides.
+    vmax: Vec<f64>,
     ci: f64,
     export_rate: f64,
     /// Conversion between leaf-area capacities (µmol m⁻² s⁻¹) and volumetric
@@ -154,11 +169,16 @@ impl CalvinCycleOde {
     /// Builds the dynamic model for a partition and a scenario.
     pub fn new(partition: &EnzymePartition, scenario: &Scenario) -> Self {
         let uptake_model = UptakeModel::new();
+        let volume_factor = 30.0;
         CalvinCycleOde {
-            capacities: partition.capacities().to_vec(),
+            vmax: partition
+                .capacities()
+                .iter()
+                .map(|&c| c / volume_factor)
+                .collect(),
             ci: scenario.ci(),
             export_rate: scenario.export.rate(),
-            volume_factor: 30.0,
+            volume_factor,
             total_phosphate: 30.0,
             phi: uptake_model.oxygenation_ratio(scenario.ci()),
             dilution: 0.005,
@@ -166,23 +186,30 @@ impl CalvinCycleOde {
     }
 
     fn vmax(&self, kind: EnzymeKind) -> f64 {
-        self.capacities[kind.index()] / self.volume_factor
+        self.vmax[kind.index()]
     }
 
     /// Free phosphate remaining after subtracting the phosphate bound in the
     /// tracked pools, clamped to a small positive floor.
     fn free_phosphate(&self, y: &Vector) -> f64 {
-        let bound: f64 = MetabolitePool::ALL
+        let bound: f64 = PHOSPHATE_GROUPS
             .iter()
-            .map(|&p| p.phosphate_groups() * y[p.index()].max(0.0))
+            .zip(y.as_slice())
+            .map(|(&groups, &c)| groups * c.max(0.0))
             .sum();
         (self.total_phosphate - bound).max(1e-3)
     }
 
     /// Evaluates every reaction flux at the current state.
     pub fn fluxes(&self, y: &Vector) -> PathwayFluxes {
+        self.fluxes_with_pi(y, self.free_phosphate(y))
+    }
+
+    /// [`CalvinCycleOde::fluxes`] with the free-phosphate pool already known,
+    /// so the right-hand side evaluates the phosphate budget exactly once per
+    /// call instead of once here and once for its own rate laws.
+    fn fluxes_with_pi(&self, y: &Vector, pi: f64) -> PathwayFluxes {
         use MetabolitePool as P;
-        let pi = self.free_phosphate(y);
         let pi_factor = pi / (pi + 1.0);
 
         let rubp = y[P::RuBP.index()];
@@ -247,7 +274,7 @@ impl OdeSystem for CalvinCycleOde {
         let pi = self.free_phosphate(y);
         let pi_factor = pi / (pi + 1.0);
 
-        let fluxes = self.fluxes(y);
+        let fluxes = self.fluxes_with_pi(y, pi);
         let vc = fluxes.carboxylation;
         let vo = fluxes.oxygenation;
 
@@ -363,9 +390,10 @@ impl OdeSystem for CalvinCycleOde {
         let v_f26bpase =
             rate_laws::michaelis_menten(self.vmax(EnzymeKind::F26Bpase), 0.02, conc(P::F26bp));
 
-        // Assemble the derivative.
-        for i in 0..POOL_COUNT {
-            dydt[i] = -self.dilution * y[i];
+        // Assemble the derivative: dilution term over the whole state first
+        // (a slice zip the compiler vectorizes), then the reaction terms.
+        for (d, &c) in dydt.as_mut_slice().iter_mut().zip(y.as_slice()) {
+            *d = -self.dilution * c;
         }
         let mut add = |pool: P, v: f64| {
             dydt[idx(pool)] += v;

@@ -381,6 +381,62 @@ fn determinism_warm_started_leaf_oracle_matches_per_candidate_and_serial() {
     );
 }
 
+// --- work-stealing splitter determinism ---------------------------------
+
+/// A deliberately skew-costed problem: low-index candidates burn far more
+/// CPU than the rest, so fixed contiguous chunking would pin the expensive
+/// head onto lane 0 while the other lanes drain and turn thief — exactly
+/// the shape that exercises the executor's tail stealing. The objectives
+/// are pure functions of the variables (the burn feeds into them), so any
+/// steal schedule must still commit results by slot.
+struct SkewedCost;
+
+impl MultiObjectiveProblem for SkewedCost {
+    fn num_variables(&self) -> usize {
+        2
+    }
+    fn num_objectives(&self) -> usize {
+        2
+    }
+    fn bounds(&self) -> Vec<(f64, f64)> {
+        vec![(0.0, 64.0); 2]
+    }
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        let iterations = if x[0] < 8.0 { 60_000 } else { 100 };
+        let mut acc = x[1];
+        for i in 0..iterations {
+            acc = (acc + i as f64 * 1e-9).sin().mul_add(0.5, x[1]);
+        }
+        vec![std::hint::black_box(acc), x[0] + x[1]]
+    }
+}
+
+/// The index-stealing splitter must reproduce serial evaluation
+/// byte-for-byte for *any* lane count on a workload skewed enough that
+/// steals actually happen: results commit by slot, so the steal schedule
+/// (which varies run to run) can never show in the output.
+#[test]
+fn determinism_stealing_splitter_is_slot_exact_for_any_lane_count() {
+    let batch: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64, (i % 5) as f64]).collect();
+    let serial = Executor::serial().evaluate_batch(&SkewedCost, &batch);
+    let mut steals_seen = 0;
+    for workers in [2, 3, 4, 6] {
+        let pooled = Executor::new(EvalBackend::Threads(workers));
+        let registry = pathway_moo::engine::MetricsRegistry::new();
+        pooled.set_metrics(registry.clone());
+        assert_eq!(
+            pooled.evaluate_batch(&SkewedCost, &batch),
+            serial,
+            "Threads({workers}) diverged from serial under stealing"
+        );
+        steals_seen += registry.snapshot().counter("exec.steal_count").unwrap_or(0);
+    }
+    assert!(
+        steals_seen > 0,
+        "the skewed batch must trigger at least one steal across the lane sweep"
+    );
+}
+
 /// MOEA/D splits bit-identically too: the ideal point and RNG stream are
 /// part of the snapshot.
 #[test]
